@@ -1,0 +1,144 @@
+// E-CMP — §1.2's comparison: Faster-Gathering vs the Ta-Shma–Zwick-style
+// UXS-only algorithm (the prior state of the art: §2.1 run from round 0)
+// vs the randomized random-walk baseline (no detection).
+//
+// Both deterministic algorithms use the SAME paper-length exploration
+// sequence, T = n^5·log n — that is the bound the prior art pays on
+// every instance, and what Faster-Gathering's cheap early stages avoid
+// whenever enough robots (Lemma 15) or a close pair exist. The paper's
+// prediction: Faster wins by a growing factor once k ≥ ⌊n/3⌋+1 (and for
+// any pair within distance 5); only far-spread tiny k fall back to the
+// shared catch-all, where Faster pays a ladder surcharge on top.
+#include "bench_common.hpp"
+
+#include "baselines/random_walk.hpp"
+#include "core/schedule.hpp"
+#include "sim/engine.hpp"
+
+namespace gather::bench {
+namespace {
+
+std::uint64_t random_walk_rounds(const graph::Graph& g,
+                                 const graph::Placement& placement,
+                                 std::uint64_t seed) {
+  sim::EngineConfig cfg;
+  cfg.hard_cap = 100'000'000ULL;
+  cfg.stop_when_gathered = true;
+  sim::Engine engine(g, cfg);
+  for (const graph::RobotStart& r : placement) {
+    engine.add_robot(std::make_unique<baselines::RandomWalkRobot>(r.label, seed),
+                     r.node);
+  }
+  return engine.run().metrics.rounds;
+}
+
+struct Row {
+  std::string label;
+  graph::Graph graph;
+  graph::Placement placement;
+};
+
+void run() {
+  using support::TextTable;
+  support::print_banner(
+      std::cout,
+      "E-CMP  Faster-Gathering vs UXS-only [43]-style vs randomized walk");
+  std::cout
+      << "Both deterministic algorithms use the paper-length UXS\n"
+         "T = n^5 log n (validated for coverage). Random walk is stopped\n"
+         "by an omniscient oracle — it has NO detection of its own.\n";
+
+  std::vector<Row> rows;
+  {
+    const std::size_t n = 8;
+    const graph::Graph ring = graph::make_ring(n);
+    for (const std::size_t k : {2UL, 3UL, 5UL, 8UL}) {
+      const auto nodes = graph::nodes_adversarial_spread(ring, k, 7);
+      rows.push_back(Row{
+          "ring8 k=" + std::to_string(k), ring,
+          graph::make_placement(nodes,
+                                graph::labels_random_distinct(k, n, 2, 29))});
+    }
+  }
+  {
+    // Far pair beyond distance 5: both algorithms share the catch-all.
+    const graph::Graph path = graph::make_path(9);
+    graph::Placement far;
+    far.push_back({0, 5});
+    far.push_back({8, 9});
+    rows.push_back(Row{"path9 far pair", path, far});
+  }
+
+  TextTable table({"instance", "k", "min dist", "Faster rounds", "stage",
+                   "UXS-only rounds", "who wins", "random walk",
+                   "detection F/U/R"});
+  auto csv = maybe_csv("comparison", {"instance", "k", "mindist", "faster",
+                                      "uxs_only", "random_walk"});
+
+  std::vector<std::function<Measurement()>> fast_thunks, uxs_thunks;
+  for (const Row& row : rows) {
+    const std::size_t n = row.graph.num_nodes();
+    auto seq = uxs::make_pseudorandom_sequence(n, uxs::paper_length(n));
+    if (!uxs::covers_all_starts(row.graph, *seq)) {
+      seq = uxs::make_covering_sequence(row.graph, 5);
+    }
+    core::RunSpec faster;
+    faster.algorithm = core::AlgorithmKind::FasterGathering;
+    faster.config = core::make_config(row.graph, seq);
+    fast_thunks.push_back(
+        [&row, faster] { return measure(row.graph, row.placement, faster); });
+    core::RunSpec uxs_only;
+    uxs_only.algorithm = core::AlgorithmKind::UxsOnly;
+    uxs_only.config = core::make_config(row.graph, seq);
+    uxs_thunks.push_back(
+        [&row, uxs_only] { return measure(row.graph, row.placement, uxs_only); });
+  }
+  const auto fast_results = measure_all(fast_thunks);
+  const auto uxs_results = measure_all(uxs_thunks);
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const auto& mf = fast_results[i];
+    const auto& mu = uxs_results[i];
+    const std::uint32_t dist = graph::min_pairwise_distance(
+        row.graph, graph::start_nodes(row.placement));
+    const std::uint64_t rw = random_walk_rounds(row.graph, row.placement, 51);
+    const double fr = static_cast<double>(mf.outcome.result.metrics.rounds);
+    const double ur = static_cast<double>(mu.outcome.result.metrics.rounds);
+    table.add_row(
+        {row.label, TextTable::num(std::uint64_t{row.placement.size()}),
+         TextTable::num(std::uint64_t{dist}),
+         TextTable::grouped(mf.outcome.result.metrics.rounds),
+         "hop-" + std::to_string(mf.outcome.gathered_stage_hop),
+         TextTable::grouped(mu.outcome.result.metrics.rounds),
+         ur >= fr ? "Faster x" + TextTable::num(ur / fr, 1)
+                  : "UXS-only x" + TextTable::num(fr / ur, 1),
+         TextTable::grouped(rw),
+         std::string(mf.outcome.result.detection_correct ? "OK" : "fail") +
+             "/" + (mu.outcome.result.detection_correct ? "OK" : "fail") +
+             "/none"});
+    if (csv) {
+      csv->add_row({row.label,
+                    TextTable::num(std::uint64_t{row.placement.size()}),
+                    TextTable::num(std::uint64_t{dist}),
+                    TextTable::num(mf.outcome.result.metrics.rounds),
+                    TextTable::num(mu.outcome.result.metrics.rounds),
+                    TextTable::num(rw)});
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "Shape check: every close-pair instance (distance <= 5 — which\n"
+         "Lemma 15 forces whenever k >= n/3+1) gathers orders of magnitude\n"
+         "before the UXS-only baseline's O(T log L); the far-pair instance\n"
+         "shares the catch-all, where Faster pays only the ladder\n"
+         "surcharge. The randomized walk is fast but offers no detection.\n";
+}
+
+}  // namespace
+}  // namespace gather::bench
+
+int main() {
+  gather::bench::run();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// E-ENG — infrastructure microbenchmarks (google-benchmark): engine
+// round throughput, the cost of follow-chain resolution, and the
+// effectiveness of event-driven skipping — what makes the Õ(n^5)
+// schedules simulable on a laptop.
+#include <benchmark/benchmark.h>
+
+#include "baselines/random_walk.hpp"
+#include "core/run.hpp"
+#include "graph/generators.hpp"
+#include "graph/placement.hpp"
+#include "sim/engine.hpp"
+#include "uxs/uxs.hpp"
+
+namespace gather {
+namespace {
+
+/// Robots that walk forever — pure engine-movement throughput.
+class Ping final : public sim::Robot {
+ public:
+  using sim::Robot::Robot;
+  sim::Action on_round(const sim::RoundView& view) override {
+    const auto port = static_cast<sim::Port>(view.round % view.degree);
+    return sim::Action::move(port);
+  }
+};
+
+void BM_EngineMovementThroughput(benchmark::State& state) {
+  const auto robots = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = graph::make_torus(8, 8);
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.hard_cap = 2000;
+    sim::Engine engine(g, cfg);
+    for (std::size_t i = 0; i < robots; ++i) {
+      engine.add_robot(std::make_unique<Ping>(static_cast<sim::RobotId>(i + 1)),
+                       static_cast<graph::NodeId>(i % g.num_nodes()));
+    }
+    const auto result = engine.run();
+    benchmark::DoNotOptimize(result.metrics.total_moves);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000 *
+                          static_cast<std::int64_t>(robots));
+}
+BENCHMARK(BM_EngineMovementThroughput)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FollowChainResolution(benchmark::State& state) {
+  // One leader walking a ring with a chain of followers behind it.
+  const auto chain = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = graph::make_ring(16);
+  class Leader final : public sim::Robot {
+   public:
+    using sim::Robot::Robot;
+    sim::Action on_round(const sim::RoundView&) override {
+      return sim::Action::move(1);
+    }
+  };
+  class Chained final : public sim::Robot {
+   public:
+    Chained(sim::RobotId id, sim::RobotId target)
+        : sim::Robot(id), target_(target) {}
+    sim::Action on_round(const sim::RoundView&) override {
+      return sim::Action::follow(target_);
+    }
+
+   private:
+    sim::RobotId target_;
+  };
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.hard_cap = 512;
+    sim::Engine engine(g, cfg);
+    engine.add_robot(std::make_unique<Leader>(chain + 1), 0);
+    for (std::size_t i = chain; i >= 1; --i) {
+      engine.add_robot(std::make_unique<Chained>(i, i + 1), 0);
+    }
+    const auto result = engine.run();
+    benchmark::DoNotOptimize(result.metrics.total_moves);
+  }
+  state.SetItemsProcessed(state.iterations() * 512 *
+                          static_cast<std::int64_t>(chain + 1));
+}
+BENCHMARK(BM_FollowChainResolution)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SkipVsNaive_QuietSchedule(benchmark::State& state) {
+  // A robot that sleeps in long stretches: skip mode should be ~free.
+  const bool naive = state.range(0) != 0;
+  const graph::Graph g = graph::make_ring(8);
+  class Sleeper final : public sim::Robot {
+   public:
+    using sim::Robot::Robot;
+    sim::Action on_round(const sim::RoundView& view) override {
+      if (view.round >= 100000) return sim::Action::terminate();
+      return sim::Action::stay_until_round(view.round + 10000);
+    }
+  };
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.hard_cap = 200000;
+    cfg.naive_stepping = naive;
+    sim::Engine engine(g, cfg);
+    engine.add_robot(std::make_unique<Sleeper>(1), 0);
+    const auto result = engine.run();
+    benchmark::DoNotOptimize(result.metrics.simulated_rounds);
+  }
+}
+BENCHMARK(BM_SkipVsNaive_QuietSchedule)->Arg(0)->Arg(1);
+
+void BM_FullFasterGathering(benchmark::State& state) {
+  // End-to-end cost of one Faster-Gathering run (undispersed start).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = graph::make_ring(n);
+  const auto seq = uxs::make_covering_sequence(g, 3);
+  const auto nodes = graph::nodes_undispersed_random(g, 4, 5);
+  const auto placement = graph::make_placement(
+      nodes, graph::labels_random_distinct(4, n, 2, 7));
+  for (auto _ : state) {
+    core::RunSpec spec;
+    spec.algorithm = core::AlgorithmKind::FasterGathering;
+    spec.config = core::make_config(g, seq);
+    const auto out = core::run_gathering(g, placement, spec);
+    benchmark::DoNotOptimize(out.result.metrics.rounds);
+  }
+}
+BENCHMARK(BM_FullFasterGathering)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace gather
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// E-L15 — Lemma 15: with ⌊n/c⌋ + 1 robots on an n-node connected graph,
+// some pair sits within 2c - 2 hops, no matter how adversarially the
+// robots are placed.
+//
+// For every family and c, place k = ⌊n/c⌋ + 1 robots by greedy max-min
+// spread (the adversary) and report the achieved minimum pairwise
+// distance against the bound; the bound must never be exceeded, and on
+// the path it is tight.
+#include "bench_common.hpp"
+
+namespace gather::bench {
+namespace {
+
+void run() {
+  using support::TextTable;
+  support::print_banner(
+      std::cout, "E-L15  Lemma 15: floor(n/c)+1 robots => a pair within 2c-2");
+
+  TextTable table({"family", "n", "c", "k", "adversarial min dist",
+                   "bound 2c-2", "holds", "tight"});
+  auto csv = maybe_csv("lemma15", {"family", "n", "c", "k", "mindist",
+                                   "bound"});
+
+  struct FamilySpec {
+    std::string name;
+    graph::Graph graph;
+  };
+  const std::vector<FamilySpec> families{
+      {"path25", graph::make_path(25)},
+      {"ring24", graph::make_ring(24)},
+      {"grid5x5", graph::make_grid(5, 5)},
+      {"rtree24", graph::make_random_tree(24, 9)},
+      {"random24(m=36)", graph::make_random_connected(24, 36, 11)},
+      {"lollipop21", graph::make_lollipop(21)},
+  };
+
+  bool all_hold = true;
+  for (const FamilySpec& family : families) {
+    const std::size_t n = family.graph.num_nodes();
+    for (unsigned c = 2; c <= 6; ++c) {
+      const std::size_t k = n / c + 1;
+      if (k < 2 || k > n) continue;
+      // Adversary tries several seeds and keeps its best placement.
+      std::uint32_t worst = 0;
+      for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const auto nodes =
+            graph::nodes_adversarial_spread(family.graph, k, seed);
+        worst = std::max(worst,
+                         graph::min_pairwise_distance(family.graph, nodes));
+      }
+      const std::uint32_t bound = 2 * c - 2;
+      const bool holds = worst <= bound;
+      all_hold &= holds;
+      table.add_row({family.name, TextTable::num(std::uint64_t{n}),
+                     TextTable::num(std::uint64_t{c}),
+                     TextTable::num(std::uint64_t{k}),
+                     TextTable::num(std::uint64_t{worst}),
+                     TextTable::num(std::uint64_t{bound}),
+                     holds ? "yes" : "VIOLATED",
+                     worst == bound ? "tight" : "-"});
+      if (csv) {
+        csv->add_row({family.name, TextTable::num(std::uint64_t{n}),
+                      TextTable::num(std::uint64_t{c}),
+                      TextTable::num(std::uint64_t{k}),
+                      TextTable::num(std::uint64_t{worst}),
+                      TextTable::num(std::uint64_t{bound})});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << (all_hold ? "Shape check: the bound holds on every row; it is "
+                           "tight on path/ring rows.\n"
+                         : "LEMMA 15 VIOLATION DETECTED — investigate!\n");
+}
+
+}  // namespace
+}  // namespace gather::bench
+
+int main() {
+  gather::bench::run();
+  return 0;
+}

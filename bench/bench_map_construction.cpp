@@ -1,0 +1,110 @@
+// E-P1 — Phase-1 map construction ([18]-style token explorer): O(mn)
+// ⊆ O(n^3) rounds, always within the shared budget R1(n), and the map is
+// port-preserving isomorphic to the hidden graph.
+//
+// Drives the TokenMapper directly (no other robots) across families and
+// sizes; reports rounds, the R1 budget, and fitted exponents: ~n^2 on
+// bounded-degree families (m = Θ(n)), ~n^3 on complete graphs.
+#include "bench_common.hpp"
+
+#include "core/schedule.hpp"
+#include "core/token_mapper.hpp"
+#include "graph/isomorphism.hpp"
+#include "support/math.hpp"
+
+namespace gather::bench {
+namespace {
+
+std::uint64_t drive_mapper(const graph::Graph& g, graph::NodeId start,
+                           bool* iso_ok) {
+  core::TokenMapper mapper;
+  graph::NodeId finder = start, token = start;
+  sim::Port entry = sim::kNoPort;
+  std::uint64_t rounds = 0;
+  for (;;) {
+    const auto decision =
+        mapper.on_round(g.degree(finder), entry, finder == token);
+    if (!decision.has_value()) break;
+    const graph::HalfEdge h = g.traverse(finder, decision->port);
+    if (decision->take_token && token == finder) token = h.to;
+    finder = h.to;
+    entry = h.to_port;
+    ++rounds;
+  }
+  *iso_ok = graph::port_isomorphism_rooted(mapper.map().to_graph(),
+                                           mapper.map().root(), g, start)
+                .has_value();
+  return rounds;
+}
+
+void run() {
+  using support::TextTable;
+  support::print_banner(
+      std::cout, "E-P1  Phase-1 map construction: O(mn) with movable token");
+
+  struct FamilySpec {
+    std::string name;
+    std::function<graph::Graph(std::size_t)> make;
+  };
+  const std::vector<FamilySpec> families{
+      {"ring", [](std::size_t n) { return graph::make_ring(n); }},
+      {"grid4xX", [](std::size_t n) {
+         return graph::make_grid(4, support::ceil_div(n, 4));
+       }},
+      {"random(m=3n)", [](std::size_t n) {
+         return graph::make_random_connected(n, 3 * n, 13);
+       }},
+      {"complete", [](std::size_t n) { return graph::make_complete(n); }},
+  };
+  const std::vector<std::size_t> sizes{8, 12, 16, 24, 32, 48, 64};
+
+  TextTable table({"family", "n", "m", "rounds", "R1 budget", "used",
+                   "map==G"});
+  auto csv = maybe_csv("map_construction",
+                       {"family", "n", "m", "rounds", "budget", "iso"});
+  TextTable fits({"family", "rounds growth", "expected"});
+
+  for (const FamilySpec& family : families) {
+    std::vector<double> ns, rounds_fit;
+    for (const std::size_t n : sizes) {
+      const graph::Graph g = family.make(n);
+      bool iso_ok = false;
+      const std::uint64_t rounds = drive_mapper(g, 0, &iso_ok);
+      const std::uint64_t budget = core::Schedule::map_budget(g.num_nodes());
+      ns.push_back(static_cast<double>(g.num_nodes()));
+      rounds_fit.push_back(static_cast<double>(rounds));
+      table.add_row({family.name, TextTable::num(std::uint64_t{g.num_nodes()}),
+                     TextTable::num(std::uint64_t{g.num_edges()}),
+                     TextTable::grouped(rounds), TextTable::grouped(budget),
+                     ratio_cell(static_cast<double>(rounds),
+                                static_cast<double>(budget)),
+                     iso_ok ? "iso" : "MISMATCH"});
+      if (csv) {
+        csv->add_row({family.name, TextTable::num(std::uint64_t{g.num_nodes()}),
+                      TextTable::num(std::uint64_t{g.num_edges()}),
+                      TextTable::num(rounds), TextTable::num(budget),
+                      iso_ok ? "iso" : "MISMATCH"});
+      }
+    }
+    fits.add_row({family.name, fitted_exponent(ns, rounds_fit),
+                  family.name == "complete" ? "<= O(mn) = O(n^3)"
+                                            : "<= O(mn) = O(n^2)"});
+  }
+  table.print(std::cout);
+  fits.print(std::cout);
+  std::cout
+      << "Shape check: rounds stay within the O(mn) worst case (and the\n"
+         "shared R1(n) budget). Measured growth is adaptive: the token\n"
+         "test usually stops its identification tour early, so even\n"
+         "complete graphs map in ~n^2 — the *budget* R1(n) = Θ(n^3) is\n"
+         "what Theorem 8's round count pays for, not the typical work.\n"
+         "Every produced map is port-isomorphic to the hidden graph.\n";
+}
+
+}  // namespace
+}  // namespace gather::bench
+
+int main() {
+  gather::bench::run();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// E-T16 — Theorem 16 (the headline result): gathering with detection in
+//   (i)   O(n^3)       when k >= floor(n/2) + 1,
+//   (ii)  O(n^4 log n) when floor(n/3) + 1 <= k < floor(n/2) + 1,
+//   (iii) Õ(n^5)       otherwise,
+// under ADVERSARIAL placements (greedy max-min-distance spread) — the
+// "power of many robots": more robots force a closer pair (Lemma 15),
+// which lets the cheap early stages finish the job.
+//
+// For each regime, sweep n, measure rounds, and fit the exponent. The
+// regime-(iii) rows use 2 far robots; their round count is dominated by
+// the ladder offset Σ hop budgets = Θ(n^5 log n), the paper's Õ(n^5).
+#include "bench_common.hpp"
+
+#include "core/schedule.hpp"
+
+namespace gather::bench {
+namespace {
+
+struct Regime {
+  std::string name;
+  std::string expected;
+  std::function<std::size_t(std::size_t)> robots;  // k(n)
+  int max_stage_hop;                               // stage that must suffice
+};
+
+void run() {
+  using support::TextTable;
+  support::print_banner(std::cout,
+                        "E-T16  Theorem 16: the three k-regimes (headline)");
+  std::cout << "Workload: adversarial max-min-distance placements on rings\n"
+               "and sparse random graphs; labels random in [1, n^2].\n";
+
+  const std::vector<Regime> regimes{
+      {"(i) k=n/2+1", "O(n^3)",
+       [](std::size_t n) { return n / 2 + 1; }, 2},
+      {"(ii) k=n/3+1", "O(n^4 log n)",
+       [](std::size_t n) { return n / 3 + 1; }, 4},
+      {"(iii) k=2 far", "O~(n^5)", [](std::size_t) { return std::size_t{2}; },
+       6},
+  };
+  const std::vector<std::size_t> sizes{9, 12, 15, 18, 24, 30};
+
+  struct FamilySpec {
+    std::string name;
+    std::function<graph::Graph(std::size_t)> make;
+  };
+  const std::vector<FamilySpec> families{
+      {"ring", [](std::size_t n) { return graph::make_ring(n); }},
+      {"random(m=2n)",
+       [](std::size_t n) { return graph::make_random_connected(n, 2 * n, 31); }},
+  };
+
+  TextTable table({"family", "regime", "n", "k", "min dist", "rounds",
+                   "achieved stage", "fit input", "detection"});
+  auto csv = maybe_csv("theorem16", {"family", "regime", "n", "k", "mindist",
+                                     "rounds", "stage", "detection"});
+  TextTable fits({"family", "regime", "rounds growth", "expected"});
+
+  for (const FamilySpec& family : families) {
+    for (const Regime& regime : regimes) {
+      std::vector<double> ns, rounds;
+      std::vector<std::function<Measurement()>> thunks;
+      std::vector<std::size_t> job_n, job_k;
+      std::vector<std::uint32_t> job_dist;
+      for (const std::size_t n : sizes) {
+        const std::size_t k = regime.robots(n);
+        if (k < 2 || k > n) continue;
+        graph::Graph g = family.make(n);
+        const auto nodes = graph::nodes_adversarial_spread(g, k, 41);
+        job_n.push_back(n);
+        job_k.push_back(k);
+        job_dist.push_back(graph::min_pairwise_distance(g, nodes));
+        const auto placement = graph::make_placement(
+            nodes, graph::labels_random_distinct(k, n, 2, 43));
+        core::RunSpec spec;
+        spec.algorithm = core::AlgorithmKind::FasterGathering;
+        spec.config = core::make_config(g, uxs::make_covering_sequence(g, 3));
+        thunks.push_back([g = std::move(g), placement, spec] {
+          return measure(g, placement, spec);
+        });
+      }
+      const auto results = measure_all(thunks);
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& m = results[i];
+        // Regime (iii)'s Õ(n^5) is the catch-all's cost: only rows that
+        // actually reach it (min dist > 5) belong in its exponent fit —
+        // smaller instances resolve earlier, which is within the bound
+        // but would contaminate the shape estimate.
+        const bool fit_row =
+            regime.max_stage_hop < 6 || job_dist[i] > 5;
+        if (fit_row) {
+          ns.push_back(static_cast<double>(job_n[i]));
+          rounds.push_back(
+              static_cast<double>(m.outcome.result.metrics.rounds));
+        }
+        table.add_row({family.name, regime.name,
+                       TextTable::num(std::uint64_t{job_n[i]}),
+                       TextTable::num(std::uint64_t{job_k[i]}),
+                       TextTable::num(std::uint64_t{job_dist[i]}),
+                       TextTable::grouped(m.outcome.result.metrics.rounds),
+                       "hop-" + std::to_string(m.outcome.gathered_stage_hop),
+                       fit_row ? "yes" : "excluded (d<6)",
+                       detection_cell(m.outcome)});
+        if (csv) {
+          csv->add_row({family.name, regime.name,
+                        TextTable::num(std::uint64_t{job_n[i]}),
+                        TextTable::num(std::uint64_t{job_k[i]}),
+                        TextTable::num(std::uint64_t{job_dist[i]}),
+                        TextTable::num(m.outcome.result.metrics.rounds),
+                        TextTable::num(static_cast<std::uint64_t>(
+                            m.outcome.gathered_stage_hop)),
+                        detection_cell(m.outcome)});
+        }
+      }
+      fits.add_row({family.name, regime.name, fitted_exponent(ns, rounds),
+                    regime.expected});
+    }
+  }
+  table.print(std::cout);
+  fits.print(std::cout);
+  std::cout
+      << "Shape check: regime (i) resolves by stage 2 with ~n^3 rounds;\n"
+         "regime (ii) by stage 4 within O(n^4 log n); regime (iii) falls\n"
+         "to the catch-all whose round count grows ~n^5 (the ladder's\n"
+         "Σ hop budgets) — the ordering (i) < (ii) < (iii) is the paper's\n"
+         "power-of-many-robots claim.\n";
+}
+
+}  // namespace
+}  // namespace gather::bench
+
+int main() {
+  gather::bench::run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Swarm recall — the paper's "power of many robots" story (§1): a swarm
+// is first dispersed over a network to do its work (one robot per node,
+// the worst configuration for gathering); afterwards the operator wants
+// everyone back at one place, with every robot KNOWING the recall is
+// complete (detection) so it can power down.
+//
+// Sweeps the swarm size k on a fixed network and prints how the recall
+// cost collapses as k crosses the Lemma 15 thresholds ⌊n/3⌋+1 and
+// ⌊n/2⌋+1 — the paper's Theorem 16 trade-off, live.
+#include <iostream>
+
+#include "core/run.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/placement.hpp"
+#include "support/table.hpp"
+#include "uxs/uxs.hpp"
+
+int main() {
+  using namespace gather;
+  using support::TextTable;
+
+  const std::size_t n = 18;
+  const graph::Graph g = graph::make_random_connected(n, 2 * n, 99);
+  const auto seq = uxs::make_covering_sequence(g, 4);
+
+  std::cout << "Swarm recall on a random network: n = " << n
+            << " nodes, m = " << g.num_edges()
+            << " links, diameter = " << graph::diameter(g) << "\n"
+            << "Dispersed worst case: every robot on its own node\n"
+            << "(adversarial spread), recall = Faster-Gathering.\n"
+            << "Thresholds: n/3+1 = " << (n / 3 + 1)
+            << ", n/2+1 = " << (n / 2 + 1) << "\n";
+
+  TextTable table({"swarm size k", "regime", "min pair dist", "recall rounds",
+                   "stage", "all confirmed?"});
+  for (const std::size_t k : {2UL, 4UL, 7UL, 10UL, 14UL, 18UL}) {
+    const auto nodes = graph::nodes_adversarial_spread(g, k, 11);
+    const auto placement = graph::make_placement(
+        nodes, graph::labels_random_distinct(k, n, 2, 13));
+
+    core::RunSpec spec;
+    spec.algorithm = core::AlgorithmKind::FasterGathering;
+    spec.config = core::make_config(g, seq);
+    const core::RunOutcome out = core::run_gathering(g, placement, spec);
+
+    std::string regime = "small swarm";
+    if (k >= n / 2 + 1) regime = "k >= n/2+1";
+    else if (k >= n / 3 + 1) regime = "k >= n/3+1";
+    table.add_row({TextTable::num(std::uint64_t{k}), regime,
+                   TextTable::num(std::uint64_t{graph::min_pairwise_distance(
+                       g, graph::start_nodes(placement))}),
+                   TextTable::grouped(out.result.metrics.rounds),
+                   "hop-" + std::to_string(out.gathered_stage_hop),
+                   out.result.detection_correct ? "yes (terminated together)"
+                                                : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "More robots => a closer pair must exist (Lemma 15) => the\n"
+               "recall resolves in an earlier, cheaper stage. Every robot\n"
+               "terminates knowing the recall is complete — that is the\n"
+               "'with detection' guarantee.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// UXS explorer — a look inside the §2.1 black box: how a single robot
+// explores an anonymous graph with a universal exploration sequence,
+// and how coverage develops with sequence length.
+//
+// Prints the coverage curve (nodes visited vs steps walked) for the
+// fixed-seed pseudorandom sequence on several families, plus the length
+// the covering oracle needed per family — the empirical gap between the
+// paper's worst-case T = n^5 log n and what graphs actually require.
+#include <iostream>
+
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+#include "uxs/coverage.hpp"
+#include "uxs/uxs.hpp"
+
+namespace {
+
+using namespace gather;
+
+/// Nodes visited after walking `steps` elements from node 0.
+std::size_t coverage_at(const graph::Graph& g,
+                        const uxs::ExplorationSequence& seq,
+                        std::uint64_t steps) {
+  std::vector<bool> seen(g.num_nodes(), false);
+  graph::NodeId at = 0;
+  graph::Port entry = graph::kNoPort;
+  seen[at] = true;
+  std::size_t count = 1;
+  for (std::uint64_t i = 0; i < steps && i < seq.length(); ++i) {
+    if (g.degree(at) == 0) break;
+    const graph::Port exit = uxs::next_port(entry, seq.offset(i), g.degree(at));
+    const graph::HalfEdge h = g.traverse(at, exit);
+    at = h.to;
+    entry = h.to_port;
+    if (!seen[at]) {
+      seen[at] = true;
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  using support::TextTable;
+  const std::size_t n = 16;
+  std::cout << "Single-robot exploration with a fixed-seed pseudorandom\n"
+               "exploration sequence (every robot derives the same one\n"
+               "from n = " << n << ").\n";
+
+  const std::vector<graph::NamedGraph> graphs{
+      {"ring16", graph::make_ring(n)},
+      {"grid4x4", graph::make_grid(4, 4)},
+      {"lollipop16", graph::make_lollipop(n)},
+      {"rtree16", graph::make_random_tree(n, 3)},
+  };
+
+  const auto seq =
+      uxs::make_pseudorandom_sequence(n, uxs::practical_length(n));
+  TextTable table({"graph", "steps=16", "64", "256", "1024", "4096",
+                   "covered from all starts?", "oracle length"});
+  for (const auto& entry : graphs) {
+    const auto oracle = uxs::make_covering_sequence(entry.graph, 1);
+    table.add_row(
+        {entry.name,
+         TextTable::num(std::uint64_t{coverage_at(entry.graph, *seq, 16)}),
+         TextTable::num(std::uint64_t{coverage_at(entry.graph, *seq, 64)}),
+         TextTable::num(std::uint64_t{coverage_at(entry.graph, *seq, 256)}),
+         TextTable::num(std::uint64_t{coverage_at(entry.graph, *seq, 1024)}),
+         TextTable::num(std::uint64_t{coverage_at(entry.graph, *seq, 4096)}),
+         uxs::covers_all_starts(entry.graph, *seq) ? "yes" : "no",
+         TextTable::num(oracle->length())});
+  }
+  table.print(std::cout);
+  std::cout
+      << "All " << n << " nodes are typically reached long before the\n"
+      << "paper's worst-case T = n^5 log n = "
+      << support::TextTable::grouped(uxs::paper_length(n))
+      << " steps — the bound is what a\n"
+         "deterministic robot must budget for, not what a typical graph\n"
+         "demands. The 'oracle length' column is the shortest validated\n"
+         "per-graph covering prefix used by the fast test substrate.\n";
+  return 0;
+}

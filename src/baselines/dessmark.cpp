@@ -1,0 +1,74 @@
+#include "baselines/dessmark.hpp"
+
+#include "support/assert.hpp"
+#include "support/bitstring.hpp"
+#include "support/math.hpp"
+
+namespace gather::baselines {
+
+DessmarkTwoRobot::DessmarkTwoRobot(sim::RobotId id, std::size_t n, unsigned b)
+    : sim::Robot(id), n_(n) {
+  GATHER_EXPECTS(n >= 2);
+  maxbits_ = std::max(1u, b * support::bit_width_u64(n));
+}
+
+sim::Round DessmarkTwoRobot::cycle_len(unsigned s) const {
+  sim::Round total = 0;
+  for (unsigned j = 1; j <= s; ++j) {
+    total = support::sat_add(
+        total, support::sat_mul(2, support::sat_pow(
+                                      static_cast<sim::Round>(n_) - 1, j)));
+  }
+  return total;
+}
+
+sim::Round DessmarkTwoRobot::stage_end(unsigned s) const {
+  sim::Round end = 0;
+  for (unsigned stage = 1; stage <= s; ++stage) {
+    end = support::sat_add(end, support::sat_mul(cycle_len(stage), maxbits_));
+  }
+  return end;
+}
+
+void DessmarkTwoRobot::locate(sim::Round r, unsigned& stage, sim::Round& cycle,
+                              sim::Round& pos, sim::Round& cycle_end) const {
+  sim::Round begin = 0;
+  for (stage = 1;; ++stage) {
+    const sim::Round len = support::sat_mul(cycle_len(stage), maxbits_);
+    if (r < support::sat_add(begin, len)) {
+      const sim::Round within = r - begin;
+      cycle = within / cycle_len(stage);
+      pos = within % cycle_len(stage);
+      cycle_end = begin + (cycle + 1) * cycle_len(stage);
+      return;
+    }
+    begin = support::sat_add(begin, len);
+    GATHER_INVARIANT(stage < 2 * n_);  // distance <= n-1 always meets by then
+  }
+}
+
+sim::Action DessmarkTwoRobot::on_round(const sim::RoundView& view) {
+  // Meeting is gathering for two robots: detect and terminate.
+  for (const sim::RobotPublicState& s : *view.colocated) {
+    if (s.id != id()) return sim::Action::terminate();
+  }
+
+  unsigned stage = 0;
+  sim::Round cycle = 0, pos = 0, cycle_end = 0;
+  locate(view.round, stage, cycle, pos, cycle_end);
+
+  const bool bit =
+      support::label_bit_lsb_first(id(), static_cast<unsigned>(cycle));
+  if (!bit) return sim::Action::stay_until_round(cycle_end);
+
+  if (walker_cycle_ != cycle_end) {  // cycle_end uniquely identifies a cycle
+    GATHER_INVARIANT(pos == 0);
+    walker_.emplace(stage);
+    walker_cycle_ = cycle_end;
+  }
+  const auto move = walker_->next_move(view.degree, view.entry_port);
+  if (move.has_value()) return sim::Action::move(*move, true);
+  return sim::Action::stay_until_round(cycle_end);
+}
+
+}  // namespace gather::baselines

@@ -1,0 +1,44 @@
+// Dessmark–Fraigniaud–Kowalski–Pelc-style two-robot rendezvous for
+// simultaneous start (§1.4 / [17]): O(D·Δ^D·log ℓ) where D is the initial
+// distance.
+//
+// The robots do not know D, so they run a growing ladder of radii
+// s = 1, 2, ...: radius-s stage = maxbits cycles of Σ_{j=1..s} 2(n-1)^j
+// rounds; in cycle c a robot walks its whole radius-s ball if bit c of
+// its label is 1 and waits otherwise (the same ball walk as
+// i-Hop-Meeting). The first stage with s >= D makes the pair meet; both
+// robots detect co-location and terminate (with k = 2, meeting IS
+// gathering, so detection is trivial — which is exactly why this
+// baseline does not generalize to many robots, cf. §1.3).
+#pragma once
+
+#include <optional>
+
+#include "core/walk_enumerator.hpp"
+#include "sim/robot.hpp"
+
+namespace gather::baselines {
+
+class DessmarkTwoRobot final : public sim::Robot {
+ public:
+  /// n = node count (known); b = label-range exponent (labels in [1,n^b]).
+  DessmarkTwoRobot(sim::RobotId id, std::size_t n, unsigned b);
+
+  [[nodiscard]] sim::Action on_round(const sim::RoundView& view) override;
+
+  /// Round by which stage `s` ends (for cap computation in harnesses).
+  [[nodiscard]] sim::Round stage_end(unsigned s) const;
+
+ private:
+  std::size_t n_;
+  unsigned maxbits_;
+  std::optional<core::WalkEnumerator> walker_;
+  sim::Round walker_cycle_ = sim::kNoRound;
+
+  [[nodiscard]] sim::Round cycle_len(unsigned s) const;
+  /// Locate (stage, cycle, offset) for an absolute round.
+  void locate(sim::Round r, unsigned& stage, sim::Round& cycle,
+              sim::Round& pos, sim::Round& cycle_end) const;
+};
+
+}  // namespace gather::baselines

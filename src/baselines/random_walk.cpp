@@ -1,0 +1,36 @@
+#include "baselines/random_walk.hpp"
+
+#include <algorithm>
+
+namespace gather::baselines {
+
+RandomWalkRobot::RandomWalkRobot(sim::RobotId id, std::uint64_t seed)
+    : sim::Robot(id), rng_(support::hash_combine(seed, id)) {}
+
+sim::Action RandomWalkRobot::on_round(const sim::RoundView& view) {
+  sim::RobotId biggest = 0;
+  for (const sim::RobotPublicState& s : *view.colocated) {
+    if (s.id != id() && s.tag != sim::StateTag::Terminated)
+      biggest = std::max(biggest, s.id);
+  }
+  if (following_) {
+    if (biggest > leader_) leader_ = biggest;
+    return sim::Action::follow(leader_);
+  }
+  if (biggest > id()) {
+    following_ = true;
+    leader_ = biggest;
+    set_tag(sim::StateTag::Follower);
+    set_group_id(leader_);
+    return sim::Action::follow(leader_);
+  }
+  set_tag(sim::StateTag::Leader);
+  set_group_id(id());
+  if (view.degree == 0) return sim::Action::stay_one(view.round);
+  // Lazy step: stay with probability 1/2 (breaks bipartite parity).
+  if ((rng_.next() & 1ULL) != 0) return sim::Action::stay_one(view.round);
+  const auto port = static_cast<sim::Port>(rng_.below(view.degree));
+  return sim::Action::move(port, true);
+}
+
+}  // namespace gather::baselines

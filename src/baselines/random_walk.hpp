@@ -1,0 +1,34 @@
+// Randomized gathering baseline (context for §1: "robots do not have
+// access to randomness" is the paper's constraint).
+//
+// Every robot performs a LAZY random walk — each round it stays put with
+// probability 1/2, else crosses a uniformly random port. Laziness is
+// essential: if everyone moved every round, co-location parity would be
+// preserved on bipartite graphs (two robots at odd distance on an even
+// ring could never meet). Co-located robots merge behind the largest
+// label and walk on together. Randomized walks gather quickly in
+// expectation but provide *no detection* — the run is stopped by the
+// simulator's omniscient stop_when_gathered switch, which is exactly the
+// capability a real deterministic system does not have. Benches report
+// this next to Faster-Gathering to show what the determinism + detection
+// requirements cost.
+#pragma once
+
+#include "sim/robot.hpp"
+#include "support/rng.hpp"
+
+namespace gather::baselines {
+
+class RandomWalkRobot final : public sim::Robot {
+ public:
+  RandomWalkRobot(sim::RobotId id, std::uint64_t seed);
+
+  [[nodiscard]] sim::Action on_round(const sim::RoundView& view) override;
+
+ private:
+  support::Xoshiro256 rng_;
+  bool following_ = false;
+  sim::RobotId leader_ = 0;
+};
+
+}  // namespace gather::baselines

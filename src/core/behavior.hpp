@@ -1,0 +1,88 @@
+// Shared plumbing for the paper's three sub-algorithms.
+//
+// Each sub-algorithm (Undispersed-Gathering §2.2, i-Hop-Meeting §2.3,
+// UXS gathering §2.1) is implemented as a *behavior*: a state machine
+// that consumes one RoundView per activation and produces an action plus
+// the public state (role tag + groupid) the robot broadcasts from the
+// next round on. Top-level robots compose behaviors along the Schedule.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+#include "sim/robot.hpp"
+
+namespace gather::core {
+
+using sim::Action;
+using sim::RobotId;
+using sim::RobotPublicState;
+using sim::Round;
+using sim::RoundView;
+using sim::StateTag;
+
+struct BehaviorResult {
+  Action action;
+  StateTag tag = StateTag::Init;
+  RobotId group_id = 0;
+};
+
+// ---- view scanning helpers ----------------------------------------------
+// All scans ignore terminated robots and the robot itself.
+
+/// Number of co-located robots other than `self` (terminated excluded).
+[[nodiscard]] inline std::size_t count_others(const RoundView& view,
+                                              RobotId self) {
+  std::size_t count = 0;
+  for (const RobotPublicState& s : *view.colocated) {
+    if (s.id != self && s.tag != StateTag::Terminated) ++count;
+  }
+  return count;
+}
+
+/// Largest co-located robot id other than `self` (0 if none).
+[[nodiscard]] inline RobotId max_other_id(const RoundView& view, RobotId self) {
+  RobotId best = 0;
+  for (const RobotPublicState& s : *view.colocated) {
+    if (s.id != self && s.tag != StateTag::Terminated) best = std::max(best, s.id);
+  }
+  return best;
+}
+
+/// Smallest group_id among co-located robots (excluding `self`) whose tag
+/// is Finder or Helper and whose group_id is set; nullopt if none.
+[[nodiscard]] inline std::optional<RobotId> min_other_group_id(
+    const RoundView& view, RobotId self) {
+  std::optional<RobotId> best;
+  for (const RobotPublicState& s : *view.colocated) {
+    if (s.id == self || s.group_id == 0) continue;
+    if (s.tag != StateTag::Finder && s.tag != StateTag::Helper) continue;
+    if (!best || s.group_id < *best) best = s.group_id;
+  }
+  return best;
+}
+
+/// The co-located Finder with the smallest group_id (excluding `self`);
+/// nullopt if no finder is present.
+[[nodiscard]] inline std::optional<RobotPublicState> min_group_finder(
+    const RoundView& view, RobotId self) {
+  std::optional<RobotPublicState> best;
+  for (const RobotPublicState& s : *view.colocated) {
+    if (s.id == self || s.tag != StateTag::Finder) continue;
+    if (!best || s.group_id < best->group_id ||
+        (s.group_id == best->group_id && s.id < best->id)) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+/// True if a robot with the given id is co-located (and not terminated).
+[[nodiscard]] inline bool is_colocated(const RoundView& view, RobotId id) {
+  return std::any_of(view.colocated->begin(), view.colocated->end(),
+                     [id](const RobotPublicState& s) {
+                       return s.id == id && s.tag != StateTag::Terminated;
+                     });
+}
+
+}  // namespace gather::core

@@ -1,0 +1,45 @@
+// Algorithm configuration — the knowledge the model grants every robot.
+//
+// Per §1.1 robots know n and their own label, and nothing else about the
+// graph (not k, m, or Δ). The optional fields implement the paper's
+// remarks: Remark 13 (known initial hop distance lets the algorithm run
+// the right step directly) and Remark 14 (known Δ shrinks the
+// i-Hop-Meeting cycles from Σ2(n-1)^j to Σ2Δ^j).
+#pragma once
+
+#include <cstdint>
+
+#include "uxs/uxs.hpp"
+
+namespace gather::core {
+
+struct AlgorithmConfig {
+  /// Number of nodes, known to all robots (the paper's one assumption).
+  std::size_t n = 0;
+
+  /// The model constant b: labels are drawn from [1, n^b]. Shared by all
+  /// robots so they can bound each other's label bit-lengths (the paper's
+  /// footnote 8 discusses exactly this synchronization constant).
+  unsigned id_exponent_b = 2;
+
+  /// The exploration sequence all robots derive from n (§2.1's black box).
+  /// Its length defines T. Required whenever the UXS stage can run.
+  uxs::SequencePtr sequence;
+
+  /// Remark 14: robots know Δ and use it for hop-meeting cycle lengths.
+  bool delta_aware = false;
+  std::uint32_t known_delta = 0;
+
+  /// Remark 13: robots are told the minimum pairwise hop distance of the
+  /// initial configuration (-1 = unknown, run the full step ladder).
+  int known_min_pair_distance = -1;
+
+  [[nodiscard]] bool valid() const {
+    if (n < 1) return false;
+    if (id_exponent_b < 1) return false;
+    if (delta_aware && known_delta < 1) return false;
+    return true;
+  }
+};
+
+}  // namespace gather::core

@@ -1,0 +1,33 @@
+#include "core/delayed.hpp"
+
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace gather::core {
+
+DelayedRobot::DelayedRobot(std::unique_ptr<sim::Robot> inner, sim::Round delay)
+    : sim::Robot(inner->id()), inner_(std::move(inner)), delay_(delay) {
+  GATHER_EXPECTS(inner_ != nullptr);
+}
+
+sim::Action DelayedRobot::on_round(const sim::RoundView& view) {
+  if (view.round < delay_) {
+    // Still asleep: invisible to the protocol (state stays Init) and
+    // stationary. Arrivals may wake the engine slot early; we just go
+    // back to sleep until τ.
+    return sim::Action::stay_until_round(delay_);
+  }
+  // Run the inner program in local time r' = r − τ.
+  sim::RoundView local = view;
+  local.round = view.round - delay_;
+  sim::Action action = inner_->on_round(local);
+  if (action.kind == sim::ActionKind::Stay) {
+    action.stay_until = support::sat_add(action.stay_until, delay_);
+  }
+  // Mirror the inner robot's broadcast state.
+  set_tag(inner_->public_state().tag);
+  set_group_id(inner_->public_state().group_id);
+  return action;
+}
+
+}  // namespace gather::core

@@ -1,0 +1,36 @@
+// Startup-delay wrapper — an experimental probe of the paper's
+// simultaneous-start assumption (§3: "we assumed that all robots
+// simultaneously woke up. An interesting future direction would be to see
+// if we can leverage this approach ... even if robots wake up at
+// arbitrary times").
+//
+// DelayedRobot sleeps until its wake round τ and then runs the wrapped
+// program in its own local time (the inner robot sees round r − τ, and
+// its Stay deadlines are translated back). With τ = 0 this is an exact
+// identity wrapper. With mixed delays the robots' schedules misalign —
+// phase boundaries, role assignment, and termination windows stop
+// agreeing — and runs may fail to gather or to detect. The ablation bench
+// measures how much delay the algorithm tolerates before correctness
+// degrades, which quantifies exactly why the paper assumes simultaneous
+// wake-up.
+#pragma once
+
+#include <memory>
+
+#include "sim/robot.hpp"
+
+namespace gather::core {
+
+class DelayedRobot final : public sim::Robot {
+ public:
+  /// Wraps `inner` (same label) and delays its start by `delay` rounds.
+  DelayedRobot(std::unique_ptr<sim::Robot> inner, sim::Round delay);
+
+  [[nodiscard]] sim::Action on_round(const sim::RoundView& view) override;
+
+ private:
+  std::unique_ptr<sim::Robot> inner_;
+  sim::Round delay_;
+};
+
+}  // namespace gather::core

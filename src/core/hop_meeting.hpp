@@ -1,0 +1,50 @@
+// i-Hop-Meeting (§2.3): turn a dispersed configuration with two robots at
+// hop distance ≤ i into an undispersed one, in cycles of
+// T(i) = Σ_{j=1..i} 2·base^j rounds (base = n-1, or Δ under Remark 14).
+//
+// In cycle c a robot reads bit c of its label (LSB first; exhausted labels
+// read 0, which realizes the paper's "wait out the procedure"):
+//   bit 0 — stay home for the whole cycle;
+//   bit 1 — exhaustively walk all port sequences of length ≤ i
+//           (WalkEnumerator), returning home, then wait out the cycle.
+//
+// Labels differ, so for the closest pair some cycle has one robot walking
+// its whole i-ball while the other sits inside it — they meet. "They meet
+// and assemble there": any robot that observes co-location at a round
+// boundary freezes in place for the remainder of the procedure. Freezing
+// is sound: co-location already implies the undispersed goal (DESIGN.md
+// §3.6).
+#pragma once
+
+#include <optional>
+
+#include "core/behavior.hpp"
+#include "core/walk_enumerator.hpp"
+
+namespace gather::core {
+
+class HopMeetingBehavior {
+ public:
+  /// Covers rounds [start, start + cycle_len * cycles).
+  HopMeetingBehavior(RobotId self, unsigned hop, Round start, Round cycle_len,
+                     unsigned cycles);
+
+  [[nodiscard]] BehaviorResult step(const RoundView& view);
+
+  [[nodiscard]] Round end_round() const noexcept { return end_; }
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+
+ private:
+  RobotId self_;
+  unsigned hop_;
+  Round start_;
+  Round cycle_len_;
+  Round end_;
+  bool frozen_ = false;
+  std::optional<WalkEnumerator> walker_;
+  Round walker_cycle_ = sim::kNoRound;
+
+  [[nodiscard]] BehaviorResult result(Action action) const;
+};
+
+}  // namespace gather::core

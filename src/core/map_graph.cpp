@@ -1,0 +1,196 @@
+#include "core/map_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace gather::core {
+
+MapGraph::MapGraph(std::uint32_t root_degree) {
+  nodes_.push_back(Node{root_degree, std::vector<PortSlot>(root_degree)});
+}
+
+std::uint32_t MapGraph::degree(MapNode v) const {
+  GATHER_EXPECTS(v < nodes_.size());
+  return nodes_[v].degree;
+}
+
+MapGraph::MapNode MapGraph::add_node(std::uint32_t degree) {
+  nodes_.push_back(Node{degree, std::vector<PortSlot>(degree)});
+  return static_cast<MapNode>(nodes_.size() - 1);
+}
+
+void MapGraph::resolve(MapNode u, sim::Port pu, MapNode v, sim::Port pv) {
+  GATHER_EXPECTS(u < nodes_.size() && v < nodes_.size());
+  GATHER_EXPECTS(pu < nodes_[u].degree && pv < nodes_[v].degree);
+  GATHER_EXPECTS(!nodes_[u].ports[pu].resolved);
+  GATHER_EXPECTS(!nodes_[v].ports[pv].resolved);
+  nodes_[u].ports[pu] = PortSlot{true, v, pv};
+  nodes_[v].ports[pv] = PortSlot{true, u, pu};
+  resolved_half_edges_ += (u == v && pu == pv) ? 1 : 2;
+}
+
+bool MapGraph::is_resolved(MapNode v, sim::Port p) const {
+  GATHER_EXPECTS(v < nodes_.size());
+  GATHER_EXPECTS(p < nodes_[v].degree);
+  return nodes_[v].ports[p].resolved;
+}
+
+std::pair<MapGraph::MapNode, sim::Port> MapGraph::endpoint(MapNode v,
+                                                           sim::Port p) const {
+  GATHER_EXPECTS(is_resolved(v, p));
+  const PortSlot& slot = nodes_[v].ports[p];
+  return {slot.to, slot.to_port};
+}
+
+bool MapGraph::complete() const {
+  for (const Node& node : nodes_) {
+    for (const PortSlot& slot : node.ports) {
+      if (!slot.resolved) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+struct BfsTree {
+  std::vector<MapGraph::MapNode> parent;
+  std::vector<sim::Port> port_to_parent;
+  std::vector<sim::Port> port_from_parent;
+};
+
+/// BFS tree over resolved edges, rooted at start.
+BfsTree bfs_tree(const MapGraph& map, MapGraph::MapNode start) {
+  const auto n = static_cast<MapGraph::MapNode>(map.num_nodes());
+  BfsTree tree;
+  tree.parent.assign(n, start);
+  tree.port_to_parent.assign(n, sim::kNoPort);
+  tree.port_from_parent.assign(n, sim::kNoPort);
+  std::vector<bool> seen(n, false);
+  seen[start] = true;
+  std::queue<MapGraph::MapNode> frontier;
+  frontier.push(start);
+  while (!frontier.empty()) {
+    const auto v = frontier.front();
+    frontier.pop();
+    for (sim::Port p = 0; p < map.degree(v); ++p) {
+      if (!map.is_resolved(v, p)) continue;
+      const auto [to, to_port] = map.endpoint(v, p);
+      if (!seen[to]) {
+        seen[to] = true;
+        tree.parent[to] = v;
+        tree.port_from_parent[to] = p;
+        tree.port_to_parent[to] = to_port;
+        frontier.push(to);
+      }
+    }
+  }
+  // The resolved subgraph is connected by construction.
+  GATHER_ENSURES(std::all_of(seen.begin(), seen.end(), [](bool s) { return s; }));
+  return tree;
+}
+
+}  // namespace
+
+std::vector<sim::Port> MapGraph::path_ports(MapNode from, MapNode to) const {
+  GATHER_EXPECTS(from < nodes_.size() && to < nodes_.size());
+  if (from == to) return {};
+  // BFS from `from` over resolved edges, reconstructing the port route.
+  const auto n = static_cast<MapNode>(nodes_.size());
+  std::vector<sim::Port> via_port(n, sim::kNoPort);
+  std::vector<MapNode> via_node(n, from);
+  std::vector<bool> seen(n, false);
+  seen[from] = true;
+  std::queue<MapNode> frontier;
+  frontier.push(from);
+  while (!frontier.empty() && !seen[to]) {
+    const MapNode v = frontier.front();
+    frontier.pop();
+    for (sim::Port p = 0; p < nodes_[v].degree; ++p) {
+      if (!nodes_[v].ports[p].resolved) continue;
+      const MapNode next = nodes_[v].ports[p].to;
+      if (!seen[next]) {
+        seen[next] = true;
+        via_port[next] = p;
+        via_node[next] = v;
+        frontier.push(next);
+      }
+    }
+  }
+  GATHER_ENSURES(seen[to]);
+  std::vector<sim::Port> route;
+  for (MapNode v = to; v != from; v = via_node[v]) route.push_back(via_port[v]);
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+std::vector<MapGraph::TourStep> MapGraph::closed_tour(MapNode start) const {
+  GATHER_EXPECTS(start < nodes_.size());
+  const BfsTree tree = bfs_tree(*this, start);
+  // Children sorted by parent-side port for determinism.
+  std::vector<std::vector<MapNode>> children(nodes_.size());
+  for (MapNode v = 0; v < nodes_.size(); ++v) {
+    if (v == start) continue;
+    children[tree.parent[v]].push_back(v);
+  }
+  for (auto& kids : children) {
+    std::sort(kids.begin(), kids.end(), [&](MapNode a, MapNode b) {
+      return tree.port_from_parent[a] < tree.port_from_parent[b];
+    });
+  }
+  std::vector<TourStep> steps;
+  steps.reserve(2 * (nodes_.size() - 1));
+  struct Frame {
+    MapNode node;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack{{start, 0}};
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_child < children[top.node].size()) {
+      const MapNode child = children[top.node][top.next_child];
+      ++top.next_child;
+      steps.push_back(TourStep{tree.port_from_parent[child], child});
+      stack.push_back(Frame{child, 0});
+    } else {
+      if (top.node != start)
+        steps.push_back(TourStep{tree.port_to_parent[top.node],
+                                 tree.parent[top.node]});
+      stack.pop_back();
+    }
+  }
+  GATHER_ENSURES(steps.size() == 2 * (nodes_.size() - 1));
+  return steps;
+}
+
+graph::Graph MapGraph::to_graph() const {
+  GATHER_EXPECTS(complete());
+  std::vector<std::vector<graph::HalfEdge>> adjacency(nodes_.size());
+  for (MapNode v = 0; v < nodes_.size(); ++v) {
+    adjacency[v].resize(nodes_[v].degree);
+    for (sim::Port p = 0; p < nodes_[v].degree; ++p) {
+      const PortSlot& slot = nodes_[v].ports[p];
+      adjacency[v][p] = graph::HalfEdge{slot.to, slot.to_port};
+    }
+  }
+  return graph::Graph::from_adjacency(std::move(adjacency));
+}
+
+std::uint64_t MapGraph::memory_bits() const {
+  // Node names and port numbers are O(log n)-bit quantities; each port
+  // slot stores (resolved?, to, to_port): 1 + 2⌈log2(n'+1)⌉ bits, plus the
+  // degree per node.
+  const std::uint64_t name_bits =
+      std::max<std::uint64_t>(1, support::ceil_log2(nodes_.size() + 1));
+  std::uint64_t bits = 0;
+  for (const Node& node : nodes_) {
+    bits += name_bits;  // degree field
+    bits += node.ports.size() * (1 + 2 * name_bits);
+  }
+  return bits;
+}
+
+}  // namespace gather::core

@@ -1,0 +1,114 @@
+#include "core/robots.hpp"
+
+#include "support/assert.hpp"
+
+namespace gather::core {
+
+// ---- FasterGatheringRobot -------------------------------------------------
+
+FasterGatheringRobot::FasterGatheringRobot(RobotId id, AlgorithmConfig config)
+    : sim::Robot(id), config_(std::move(config)),
+      sched_(Schedule::make(config_)) {}
+
+Action FasterGatheringRobot::apply(const BehaviorResult& r) {
+  set_tag(r.tag);
+  set_group_id(r.group_id);
+  return r.action;
+}
+
+void FasterGatheringRobot::note_map_memory() {
+  if (ug_.has_value()) {
+    peak_map_bits_ = std::max(peak_map_bits_, ug_->map_memory_bits());
+  }
+}
+
+Action FasterGatheringRobot::detection(const RoundView& view,
+                                       Round next_stage_start) {
+  // Lemma 11: at the end of a step either every robot is alone (nothing
+  // happened) or every robot is gathered. Not alone => gathered => done.
+  note_map_memory();
+  if (count_others(view, id()) > 0) {
+    return Action::terminate();
+  }
+  return Action::stay_until_round(next_stage_start);
+}
+
+Action FasterGatheringRobot::on_round(const RoundView& view) {
+  const Round r = view.round;
+  const auto& stages = sched_.stages();
+
+  while (stage_idx_ + 1 < stages.size() &&
+         r >= stages[stage_idx_].start + stages[stage_idx_].duration) {
+    note_map_memory();
+    hop_.reset();
+    ug_.reset();
+    ++stage_idx_;
+  }
+  const Stage& stage = stages[stage_idx_];
+  GATHER_INVARIANT(r >= stage.start && r < stage.start + stage.duration);
+
+  switch (stage.kind) {
+    case StageKind::Undispersed: {
+      const Round detect_round = stage.start + stage.duration - 1;
+      if (r == detect_round) return detection(view, stage.start + stage.duration);
+      if (!ug_.has_value()) ug_.emplace(id(), config_.n, stage.start);
+      return apply(ug_->step(view));
+    }
+
+    case StageKind::HopThenUndispersed: {
+      const Round hop_len = sched_.hop_len(stage.hop);
+      const Round ug_start = stage.start + hop_len;
+      const Round detect_round = stage.start + stage.duration - 1;
+      if (r == detect_round) return detection(view, stage.start + stage.duration);
+      if (r < ug_start) {
+        if (!hop_.has_value()) {
+          hop_.emplace(id(), stage.hop, stage.start, sched_.cycle_len(stage.hop),
+                       sched_.maxbits());
+        }
+        return apply(hop_->step(view));
+      }
+      if (!ug_.has_value()) ug_.emplace(id(), config_.n, ug_start);
+      return apply(ug_->step(view));
+    }
+
+    case StageKind::UxsGathering: {
+      if (!uxs_.has_value()) {
+        uxs_.emplace(id(), config_.sequence, stage.start);
+      }
+      return apply(uxs_->step(view));
+    }
+  }
+  throw ContractViolation("unhandled stage kind");
+}
+
+// ---- UndispersedGatheringRobot ---------------------------------------------
+
+UndispersedGatheringRobot::UndispersedGatheringRobot(RobotId id, std::size_t n)
+    : sim::Robot(id), ug_(id, n, 0) {
+  end_ = ug_.end_round();
+}
+
+Action UndispersedGatheringRobot::on_round(const RoundView& view) {
+  if (view.round >= end_) {
+    // Theorem 8: every robot terminates when its counter reaches R1 + 2n.
+    return Action::terminate();
+  }
+  const BehaviorResult r = ug_.step(view);
+  set_tag(r.tag);
+  set_group_id(r.group_id);
+  return r.action;
+}
+
+// ---- UxsGatheringRobot ------------------------------------------------------
+
+UxsGatheringRobot::UxsGatheringRobot(RobotId id, uxs::SequencePtr sequence)
+    : sim::Robot(id), behavior_(id, std::move(sequence), 0) {}
+
+Action UxsGatheringRobot::on_round(const RoundView& view) {
+  const BehaviorResult r = behavior_.step(view);
+  set_tag(r.tag);
+  set_group_id(r.group_id);
+  return r.action;
+}
+
+}  // namespace gather::core

@@ -1,0 +1,132 @@
+#include "core/run.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/robots.hpp"
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace gather::core {
+
+AlgorithmConfig make_config(const graph::Graph& g, uxs::SequencePtr sequence) {
+  AlgorithmConfig config;
+  config.n = g.num_nodes();
+  config.sequence = std::move(sequence);
+  return config;
+}
+
+std::string to_string(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::FasterGathering: return "Faster-Gathering";
+    case AlgorithmKind::UndispersedOnly: return "Undispersed-Gathering";
+    case AlgorithmKind::UxsOnly: return "UXS-Gathering";
+  }
+  return "?";
+}
+
+RunOutcome run_gathering(const graph::Graph& g,
+                         const graph::Placement& placement,
+                         const RunSpec& spec) {
+  GATHER_EXPECTS(!placement.empty());
+  GATHER_EXPECTS(spec.config.n == g.num_nodes());
+  const std::uint64_t max_label =
+      support::sat_pow(spec.config.n, spec.config.id_exponent_b);
+  for (const graph::RobotStart& r : placement) {
+    GATHER_EXPECTS(r.label >= 1 && r.label <= max_label);
+  }
+
+  // Derive the hard cap from the algorithm's own worst-case schedule.
+  sim::Round cap = spec.hard_cap;
+  std::optional<Schedule> sched;
+  if (spec.algorithm == AlgorithmKind::FasterGathering) {
+    sched = Schedule::make(spec.config);
+    if (cap == 0) cap = sched->hard_cap();
+  } else if (spec.algorithm == AlgorithmKind::UndispersedOnly) {
+    if (cap == 0) {
+      cap = support::sat_add(
+          support::sat_add(Schedule::map_budget(spec.config.n),
+                           2 * static_cast<sim::Round>(spec.config.n)),
+          8);
+    }
+  } else {
+    GATHER_EXPECTS(spec.config.sequence != nullptr);
+    const sim::Round t = spec.config.sequence->length();
+    // Leaders finish by phase maxbits+1; +slack.
+    AlgorithmConfig probe = spec.config;
+    probe.known_min_pair_distance = 6;  // schedule with only the UXS stage
+    sched = Schedule::make(probe);
+    if (cap == 0) {
+      cap = support::sat_add(
+          support::sat_mul(2 * t, static_cast<sim::Round>(sched->maxbits()) + 2),
+          64);
+    }
+  }
+
+  sim::EngineConfig engine_config;
+  engine_config.hard_cap = cap;
+  engine_config.naive_stepping = spec.naive_engine;
+  engine_config.record_trace = spec.record_trace;
+  sim::Engine engine(g, engine_config);
+
+  std::vector<const FasterGatheringRobot*> faster_robots;
+  std::vector<const UndispersedGatheringRobot*> ug_robots;
+  for (const graph::RobotStart& start : placement) {
+    switch (spec.algorithm) {
+      case AlgorithmKind::FasterGathering: {
+        auto robot =
+            std::make_unique<FasterGatheringRobot>(start.label, spec.config);
+        faster_robots.push_back(robot.get());
+        engine.add_robot(std::move(robot), start.node);
+        break;
+      }
+      case AlgorithmKind::UndispersedOnly: {
+        auto robot = std::make_unique<UndispersedGatheringRobot>(start.label,
+                                                                 spec.config.n);
+        ug_robots.push_back(robot.get());
+        engine.add_robot(std::move(robot), start.node);
+        break;
+      }
+      case AlgorithmKind::UxsOnly: {
+        engine.add_robot(std::make_unique<UxsGatheringRobot>(
+                             start.label, spec.config.sequence),
+                         start.node);
+        break;
+      }
+    }
+  }
+
+  RunOutcome outcome;
+  outcome.result = engine.run();
+  if (spec.record_trace) outcome.trace = engine.trace();
+  if (sched.has_value()) outcome.schedule = *sched;
+
+  for (const auto* robot : faster_robots) {
+    outcome.peak_map_bits = std::max(outcome.peak_map_bits,
+                                     robot->peak_map_bits());
+  }
+  for (const auto* robot : ug_robots) {
+    outcome.peak_map_bits = std::max(outcome.peak_map_bits, robot->map_bits());
+  }
+
+  // Attribute the gathering round to a schedule stage.
+  if (sched.has_value() &&
+      outcome.result.metrics.first_gathered != sim::kNoRound) {
+    const sim::Round when = outcome.result.metrics.first_gathered;
+    const auto& stages = sched->stages();
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      if (when >= stages[i].start &&
+          when < stages[i].start + stages[i].duration) {
+        outcome.gathered_stage = static_cast<int>(i);
+        outcome.gathered_stage_hop =
+            stages[i].kind == StageKind::UxsGathering
+                ? 6
+                : static_cast<int>(stages[i].hop);
+        break;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace gather::core

@@ -1,0 +1,65 @@
+// One-call experiment runner — the library's main entry point.
+//
+// Builds the engine, instantiates one robot program per placement entry,
+// runs to termination, and reports the round count, detection
+// correctness, per-stage attribution, and memory metrics that the
+// theorems talk about.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/schedule.hpp"
+#include "graph/placement.hpp"
+#include "sim/engine.hpp"
+
+namespace gather::core {
+
+enum class AlgorithmKind : std::uint8_t {
+  FasterGathering,   ///< §2.3 (Theorems 12/16) — the headline algorithm
+  UndispersedOnly,   ///< §2.2 (Theorem 8) — requires an undispersed start
+  UxsOnly,           ///< §2.1 (Theorem 6) — also the baseline proxy
+};
+
+struct RunSpec {
+  AlgorithmKind algorithm = AlgorithmKind::FasterGathering;
+  AlgorithmConfig config;
+  bool naive_engine = false;
+  bool record_trace = false;
+  /// 0 = derive from the schedule.
+  sim::Round hard_cap = 0;
+};
+
+struct RunOutcome {
+  sim::RunResult result;
+  /// Peak Phase-1 map size over all robots (bits) — the O(m log n) term.
+  std::uint64_t peak_map_bits = 0;
+  /// Index of the schedule stage during which gathering completed
+  /// (-1 if never gathered, or not applicable to this algorithm).
+  int gathered_stage = -1;
+  /// The hop parameter of that stage (0 for plain UG, 6 for the UXS stage).
+  int gathered_stage_hop = -1;
+  /// Recorded move events (only when spec.record_trace; may be truncated
+  /// at the engine's trace_limit). Feed to core::Timeline for analysis.
+  std::vector<sim::TraceEvent> trace;
+  /// The schedule the robots ran (FasterGathering / UxsOnly only).
+  std::optional<Schedule> schedule;
+};
+
+/// Run `spec.algorithm` on the placement. `spec.config.n` must equal
+/// g.num_nodes() (it is what the robots are told); labels must lie in
+/// [1, n^b].
+[[nodiscard]] RunOutcome run_gathering(const graph::Graph& g,
+                                       const graph::Placement& placement,
+                                       const RunSpec& spec);
+
+/// A ready-made config: n from the graph, the given sequence, defaults
+/// elsewhere.
+[[nodiscard]] AlgorithmConfig make_config(const graph::Graph& g,
+                                          uxs::SequencePtr sequence);
+
+[[nodiscard]] std::string to_string(AlgorithmKind kind);
+
+}  // namespace gather::core

@@ -1,0 +1,94 @@
+#include "core/schedule.hpp"
+
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace gather::core {
+
+using support::sat_add;
+using support::sat_mul;
+using support::sat_pow;
+
+Round Schedule::map_budget(std::size_t n) {
+  // Per directed port resolution (token_mapper.cpp):
+  //   navigate to u (≤ n-1) + cross with token (1) + return alone (1)
+  //   + closed Euler tour of the known map (≤ 2(n-1))
+  //   + fetch token (known node: ≤ n-1 | new node: ≤ n-1 then cross, +1)
+  //   ≤ 4n + 2 moves; ≤ 2m ≤ n(n-1) directed ports; + ≤ n to walk home.
+  const Round nn = static_cast<Round>(n);
+  return sat_add(sat_mul(sat_add(sat_mul(4, nn), 2), sat_mul(nn, nn)),
+                 sat_add(sat_mul(2, nn), 8));
+}
+
+Round Schedule::undispersed_total() const {
+  return sat_add(map_budget(n_), sat_mul(2, static_cast<Round>(n_)));
+}
+
+Round Schedule::cycle_len(unsigned hop) const {
+  Round total = 0;
+  for (unsigned j = 1; j <= hop; ++j) {
+    total = sat_add(total, sat_mul(2, sat_pow(base_, j)));
+  }
+  return total;
+}
+
+Round Schedule::hop_len(unsigned hop) const {
+  return sat_mul(cycle_len(hop), maxbits_);
+}
+
+Round Schedule::uxs_start() const {
+  for (const Stage& stage : stages_) {
+    if (stage.kind == StageKind::UxsGathering) return stage.start;
+  }
+  throw ContractViolation("schedule has no UXS stage");
+}
+
+Schedule Schedule::make(const AlgorithmConfig& config) {
+  GATHER_EXPECTS(config.valid());
+  Schedule s;
+  s.n_ = config.n;
+  s.maxbits_ = std::max(
+      1u, config.id_exponent_b *
+              support::bit_width_u64(static_cast<std::uint64_t>(config.n)));
+  s.base_ = config.delta_aware ? static_cast<Round>(config.known_delta)
+                               : static_cast<Round>(config.n) - 1;
+  s.uxs_T_ = config.sequence ? config.sequence->length() : 0;
+
+  // Build the stage ladder. Default (§2.3 Faster-Gathering):
+  //   step 1:  Undispersed-Gathering                        (R + 1 rounds)
+  //   step i (2..6): (i-1)-Hop-Meeting + Undispersed        (hop_len + R + 1)
+  //   step 7:  UXS gathering (§2.1)                         (2T(maxbits+1) + 1)
+  // Remark 13 (known distance d): run only the step that handles d, then
+  // the UXS stage as the certified catch-all.
+  const Round r_total = sat_add(s.undispersed_total(), 1);
+  Round at = 0;
+  auto push = [&](StageKind kind, unsigned hop, Round duration) {
+    s.stages_.push_back(Stage{kind, hop, at, duration});
+    at = sat_add(at, duration);
+  };
+
+  const int d = config.known_min_pair_distance;
+  if (d < 0) {
+    push(StageKind::Undispersed, 0, r_total);
+    for (unsigned hop = 1; hop <= 5; ++hop) {
+      push(StageKind::HopThenUndispersed, hop,
+           sat_add(s.hop_len(hop), r_total));
+    }
+  } else if (d == 0) {
+    push(StageKind::Undispersed, 0, r_total);
+  } else if (d <= 5) {
+    push(StageKind::HopThenUndispersed, static_cast<unsigned>(d),
+         sat_add(s.hop_len(static_cast<unsigned>(d)), r_total));
+  }
+  // The UXS stage is always present: it is the certified terminating
+  // catch-all (§2.1 detects and terminates on its own).
+  GATHER_EXPECTS(s.uxs_T_ >= 1);
+  const Round uxs_total =
+      sat_add(sat_mul(sat_mul(2, s.uxs_T_), s.maxbits_ + 1), 1);
+  push(StageKind::UxsGathering, 0, uxs_total);
+
+  s.hard_cap_ = sat_add(at, 64);
+  return s;
+}
+
+}  // namespace gather::core

@@ -1,0 +1,84 @@
+// The global round timeline of Faster-Gathering (§2.3).
+//
+// Every robot computes this schedule from n (and the shared model
+// constants) alone; that common knowledge is what keeps the robots'
+// step/phase boundaries aligned, exactly as the paper requires ("each
+// step can be synchronized easily using the time bound of
+// Undispersed-Gathering and i-Hop-Meeting").
+//
+// Concrete budgets (derivations in the .cpp and DESIGN.md):
+//   R1(n) = 4n^3 + 2n^2 + 2n + 8      Phase-1 map-construction budget
+//   R(n)  = R1(n) + 2n                 one Undispersed-Gathering run
+//   cycle_len(i) = Σ_{j=1..i} 2 base^j with base = n-1 (or Δ, Remark 14)
+//   hop_len(i)   = cycle_len(i) · maxbits
+//   maxbits      = b · bit_width(n) ≥ bit length of any label in [1, n^b]
+//
+// Each Undispersed stage is followed by one extra *detection round* where
+// robots check alone/not-alone (Lemma 11) — an explicit round in this
+// implementation to keep stage boundaries crisp.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/types.hpp"
+
+namespace gather::core {
+
+using sim::Round;
+
+enum class StageKind : std::uint8_t {
+  Undispersed,         ///< Undispersed-Gathering + detection round
+  HopThenUndispersed,  ///< i-Hop-Meeting, then the above
+  UxsGathering,        ///< §2.1 catch-all (terminates internally)
+};
+
+struct Stage {
+  StageKind kind = StageKind::Undispersed;
+  unsigned hop = 0;  ///< i for HopThenUndispersed
+  Round start = 0;
+  Round duration = 0;  ///< exclusive; next stage starts at start + duration
+};
+
+class Schedule {
+ public:
+  [[nodiscard]] static Schedule make(const AlgorithmConfig& config);
+
+  /// R1(n): shared upper bound on Phase-1 map construction (see
+  /// token_mapper.cpp for the per-move derivation).
+  [[nodiscard]] static Round map_budget(std::size_t n);
+
+  /// R(n) = R1(n) + 2n.
+  [[nodiscard]] Round undispersed_total() const;
+
+  /// Σ_{j=1..i} 2·base^j — one i-Hop-Meeting cycle (saturating).
+  [[nodiscard]] Round cycle_len(unsigned hop) const;
+
+  /// cycle_len(hop) · maxbits — one full i-Hop-Meeting procedure.
+  [[nodiscard]] Round hop_len(unsigned hop) const;
+
+  [[nodiscard]] unsigned maxbits() const noexcept { return maxbits_; }
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+
+  [[nodiscard]] const std::vector<Stage>& stages() const noexcept {
+    return stages_;
+  }
+
+  /// The UXS stage's exploration period T (== sequence length), and its
+  /// phase boundaries: phase p occupies [uxs_start + 2Tp, uxs_start + 2T(p+1)).
+  [[nodiscard]] Round uxs_T() const noexcept { return uxs_T_; }
+  [[nodiscard]] Round uxs_start() const;
+
+  /// Every correct run terminates at or before this round.
+  [[nodiscard]] Round hard_cap() const noexcept { return hard_cap_; }
+
+ private:
+  std::size_t n_ = 0;
+  unsigned maxbits_ = 0;
+  Round base_ = 0;  ///< n-1, or Δ under Remark 14
+  Round uxs_T_ = 0;
+  Round hard_cap_ = 0;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace gather::core

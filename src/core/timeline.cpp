@@ -1,0 +1,83 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/table.hpp"
+
+namespace gather::core {
+
+Timeline Timeline::from_trace(const std::vector<sim::TraceEvent>& trace,
+                              const Schedule& schedule) {
+  Timeline timeline;
+  for (std::size_t i = 0; i < schedule.stages().size(); ++i) {
+    const Stage& stage = schedule.stages()[i];
+    StageActivity activity;
+    activity.stage_index = i;
+    activity.kind = stage.kind;
+    activity.hop = stage.hop;
+    activity.start = stage.start;
+    activity.duration = stage.duration;
+    timeline.stages_.push_back(std::move(activity));
+  }
+  if (timeline.stages_.empty()) return timeline;
+  for (const sim::TraceEvent& event : trace) {
+    // Stages are contiguous from round 0; find the owning stage.
+    std::size_t idx = timeline.stages_.size() - 1;
+    for (std::size_t i = 0; i < timeline.stages_.size(); ++i) {
+      const StageActivity& s = timeline.stages_[i];
+      if (event.round >= s.start && event.round < s.start + s.duration) {
+        idx = i;
+        break;
+      }
+    }
+    StageActivity& s = timeline.stages_[idx];
+    ++s.moves;
+    ++s.moves_by_robot[event.robot];
+    if (s.first_move == sim::kNoRound) s.first_move = event.round;
+    s.last_move = std::max(s.last_move == sim::kNoRound ? 0 : s.last_move,
+                           event.round);
+  }
+  return timeline;
+}
+
+std::uint64_t Timeline::total_moves() const noexcept {
+  std::uint64_t total = 0;
+  for (const StageActivity& s : stages_) total += s.moves;
+  return total;
+}
+
+int Timeline::first_active_stage() const noexcept {
+  for (const StageActivity& s : stages_) {
+    if (s.moves > 0) return static_cast<int>(s.stage_index);
+  }
+  return -1;
+}
+
+void Timeline::print(std::ostream& os) const {
+  using support::TextTable;
+  TextTable table({"stage", "kind", "rounds [start, end)", "moves",
+                   "active robots", "first/last move"});
+  for (const StageActivity& s : stages_) {
+    std::string kind;
+    switch (s.kind) {
+      case StageKind::Undispersed: kind = "undispersed"; break;
+      case StageKind::HopThenUndispersed:
+        kind = "hop-" + std::to_string(s.hop) + "+undisp";
+        break;
+      case StageKind::UxsGathering: kind = "uxs-catchall"; break;
+    }
+    table.add_row(
+        {TextTable::num(std::uint64_t{s.stage_index}), kind,
+         "[" + TextTable::grouped(s.start) + ", " +
+             TextTable::grouped(s.start + s.duration) + ")",
+         TextTable::grouped(s.moves),
+         TextTable::num(std::uint64_t{s.moves_by_robot.size()}),
+         s.moves == 0 ? "-"
+                      : TextTable::grouped(s.first_move) + "/" +
+                            TextTable::grouped(s.last_move)});
+  }
+  table.print(os);
+}
+
+}  // namespace gather::core

@@ -1,0 +1,55 @@
+// Post-run analysis: bucket a recorded engine trace by the schedule's
+// stages to show where a run spent its movement — which step did the
+// work, who moved, and when gathering actually happened. Powers
+// gather_cli --timeline and the debugging workflow ("why did this run
+// resolve in stage 3?").
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "sim/engine.hpp"
+
+namespace gather::core {
+
+struct StageActivity {
+  std::size_t stage_index = 0;
+  StageKind kind = StageKind::Undispersed;
+  unsigned hop = 0;
+  Round start = 0;
+  Round duration = 0;
+  std::uint64_t moves = 0;
+  /// Moves per robot label within this stage.
+  std::map<sim::RobotId, std::uint64_t> moves_by_robot;
+  sim::Round first_move = sim::kNoRound;
+  sim::Round last_move = sim::kNoRound;
+};
+
+class Timeline {
+ public:
+  /// Bucket `trace` (recorded with EngineConfig::record_trace) into the
+  /// schedule's stages. Events beyond the last stage are attributed to it.
+  [[nodiscard]] static Timeline from_trace(
+      const std::vector<sim::TraceEvent>& trace, const Schedule& schedule);
+
+  [[nodiscard]] const std::vector<StageActivity>& stages() const noexcept {
+    return stages_;
+  }
+
+  /// Total moves across all stages (== metrics.total_moves when the trace
+  /// was not truncated by trace_limit).
+  [[nodiscard]] std::uint64_t total_moves() const noexcept;
+
+  /// The first stage with any movement (-1 if the trace is empty).
+  [[nodiscard]] int first_active_stage() const noexcept;
+
+  /// Render as an aligned table.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<StageActivity> stages_;
+};
+
+}  // namespace gather::core

@@ -1,0 +1,170 @@
+#include "core/undispersed.hpp"
+
+#include "core/schedule.hpp"
+#include "support/assert.hpp"
+
+namespace gather::core {
+
+UndispersedBehavior::UndispersedBehavior(RobotId self, std::size_t n,
+                                         Round start)
+    : self_(self), n_(n), start_(start) {
+  phase2_ = start_ + Schedule::map_budget(n_);
+  end_ = phase2_ + 2 * static_cast<Round>(n_);
+}
+
+BehaviorResult UndispersedBehavior::result(Action action) const {
+  BehaviorResult r;
+  r.action = action;
+  switch (role_) {
+    case Role::Finder: r.tag = StateTag::Finder; break;
+    case Role::Helper: r.tag = StateTag::Helper; break;
+    case Role::Waiter: r.tag = StateTag::Waiter; break;
+    case Role::Unassigned: r.tag = StateTag::Init; break;
+  }
+  r.group_id = group_id_;
+  return r;
+}
+
+void UndispersedBehavior::assign_role(const RoundView& view) {
+  // Roles follow from the configuration at the start round (§2.2): alone
+  // -> waiter; otherwise the minimum-ID co-located robot is the finder
+  // and the rest are its helpers.
+  RobotId min_id = self_;
+  std::size_t present = 0;
+  for (const RobotPublicState& s : *view.colocated) {
+    if (s.tag == StateTag::Terminated) continue;
+    ++present;
+    min_id = std::min(min_id, s.id);
+  }
+  if (present <= 1) {
+    role_ = Role::Waiter;
+    group_id_ = 0;
+  } else if (min_id == self_) {
+    role_ = Role::Finder;
+    group_id_ = self_;
+  } else {
+    role_ = Role::Helper;
+    group_id_ = min_id;
+    followed_ = 0;  // phase-1 following is token duty, not capture
+  }
+}
+
+BehaviorResult UndispersedBehavior::step(const RoundView& view) {
+  GATHER_EXPECTS(view.round >= start_ && view.round < end_);
+  if (role_ == Role::Unassigned) {
+    GATHER_INVARIANT(view.round == start_);
+    assign_role(view);
+  }
+  switch (role_) {
+    case Role::Finder: return finder_step(view);
+    case Role::Helper: return helper_step(view);
+    case Role::Waiter: return waiter_step(view);
+    case Role::Unassigned: break;
+  }
+  throw ContractViolation("unassigned role in UndispersedBehavior::step");
+}
+
+BehaviorResult UndispersedBehavior::finder_step(const RoundView& view) {
+  const Round r = view.round;
+
+  if (r < phase2_) {
+    // ---- Phase 1: map construction with the helper-group token ----------
+    bool token_here = false;
+    for (const RobotPublicState& s : *view.colocated) {
+      if (s.id != self_ && s.tag == StateTag::Helper && s.group_id == self_) {
+        token_here = true;
+        break;
+      }
+    }
+    const auto decision = mapper_.on_round(view.degree, view.entry_port,
+                                           token_here);
+    if (decision.has_value()) {
+      return result(Action::move(decision->port, decision->take_token));
+    }
+    // Map complete and home again: wait out the shared R1 budget.
+    return result(Action::stay_until_round(phase2_));
+  }
+
+  // ---- Phase 2: spanning-tree collection tour ---------------------------
+  if (!tour_ready_) {
+    GATHER_INVARIANT(mapper_.finished());
+    tour_ = mapper_.map().closed_tour(mapper_.map().root());
+    tour_idx_ = 0;
+    tour_ready_ = true;
+  }
+
+  // Capture rules first (evaluated on this round's snapshot view).
+  const auto min_gid = min_other_group_id(view, self_);
+  if (min_gid.has_value() && *min_gid < group_id_) {
+    const auto finder = min_group_finder(view, self_);
+    if (finder.has_value() && finder->group_id == *min_gid) {
+      // Captured by a smaller-groupid finder: follow it from now on.
+      role_ = Role::Helper;
+      group_id_ = finder->group_id;
+      followed_ = finder->id;
+      return result(Action::follow(followed_));
+    }
+    // The minimum belongs to a helper: park here with its groupid.
+    role_ = Role::Helper;
+    group_id_ = *min_gid;
+    followed_ = 0;
+    return result(Action::stay_until_round(end_));
+  }
+
+  // Not captured: continue (or finish) the tour.
+  if (tour_idx_ < tour_.size()) {
+    const MapGraph::TourStep step = tour_[tour_idx_++];
+    return result(Action::move(step.port, true));
+  }
+  return result(Action::stay_until_round(end_));
+}
+
+BehaviorResult UndispersedBehavior::helper_step(const RoundView& view) {
+  const Round r = view.round;
+
+  if (r < phase2_) {
+    // ---- Phase 1: act as the finder's movable token ----------------------
+    // Mirror the finder whenever it is co-located; its take_followers flag
+    // decides whether the token moves or is left behind.
+    if (is_colocated(view, group_id_)) {
+      return result(Action::follow(group_id_));
+    }
+    return result(Action::stay_until_round(phase2_));
+  }
+
+  // ---- Phase 2: stay until captured by a smaller-groupid finder ---------
+  const auto finder = min_group_finder(view, self_);
+  if (finder.has_value() && finder->group_id < group_id_) {
+    group_id_ = finder->group_id;
+    followed_ = finder->id;
+    return result(Action::follow(followed_));
+  }
+  if (followed_ != 0) {
+    // Keep mirroring the robot we were captured by (it may itself have
+    // parked, in which case we park with it).
+    GATHER_INVARIANT(is_colocated(view, followed_));
+    return result(Action::follow(followed_));
+  }
+  return result(Action::stay_until_round(end_));
+}
+
+BehaviorResult UndispersedBehavior::waiter_step(const RoundView& view) {
+  if (view.round >= phase2_) {
+    // A finder's visit converts the waiter into a helper that follows it.
+    const auto finder = min_group_finder(view, self_);
+    if (finder.has_value()) {
+      role_ = Role::Helper;
+      group_id_ = finder->group_id;
+      followed_ = finder->id;
+      return result(Action::follow(followed_));
+    }
+  }
+  return result(Action::stay_until_round(
+      view.round < phase2_ ? phase2_ : end_));
+}
+
+std::uint64_t UndispersedBehavior::map_memory_bits() const {
+  return mapper_.started() ? mapper_.map().memory_bits() : 0;
+}
+
+}  // namespace gather::core

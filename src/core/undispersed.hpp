@@ -1,0 +1,78 @@
+// Undispersed-Gathering (§2.2): gathering with detection in O(n^3) rounds
+// when some start node holds two or more robots.
+//
+// Roles are fixed by the configuration at the behavior's start round:
+// the minimum-ID robot of a multi-robot node is the *finder*, its
+// co-located companions are *helpers* (groupid = finder's label), and
+// every solitary robot is a *waiter* (groupid unset).
+//
+// Phase 1 (rounds [start, start+R1)): each finder builds a map with its
+// helper group as a movable token (TokenMapper); waiters sit still; all
+// parties wait out the shared R1(n) budget to stay synchronized.
+//
+// Phase 2 (rounds [start+R1, start+R1+2n)): each finder walks a closed
+// spanning-tree tour of its map. Capture rules (Lemma 7): groupids act as
+// pair identities; the smaller groupid always wins. A finder that meets a
+// robot with smaller groupid is captured (follows a finder, or parks on a
+// helper); helpers and waiters start following the smallest-groupid
+// finder that visits them. The minimum-groupid finder is never captured,
+// completes its tour in exactly 2(n-1) moves, and everyone ends at its
+// start node.
+//
+// The behavior covers rounds [start, start + R1 + 2n); the owner decides
+// at round start+R1+2n whether to terminate (standalone: always; inside
+// Faster-Gathering: the Lemma 11 alone/not-alone detection).
+#pragma once
+
+#include <optional>
+
+#include "core/behavior.hpp"
+#include "core/token_mapper.hpp"
+#include "sim/types.hpp"
+
+namespace gather::core {
+
+class UndispersedBehavior {
+ public:
+  /// `n` is the number of nodes (known to robots); `start` the behavior's
+  /// first round.
+  UndispersedBehavior(RobotId self, std::size_t n, Round start);
+
+  /// Valid for view.round in [start, start + R1 + 2n).
+  [[nodiscard]] BehaviorResult step(const RoundView& view);
+
+  /// Peak map memory (bits) — 0 for non-finders.
+  [[nodiscard]] std::uint64_t map_memory_bits() const;
+
+  [[nodiscard]] Round start_round() const noexcept { return start_; }
+  [[nodiscard]] Round phase2_round() const noexcept { return phase2_; }
+  [[nodiscard]] Round end_round() const noexcept { return end_; }
+
+ private:
+  enum class Role : std::uint8_t { Unassigned, Finder, Helper, Waiter };
+
+  RobotId self_;
+  std::size_t n_;
+  Round start_;
+  Round phase2_;  ///< start + R1
+  Round end_;     ///< start + R1 + 2n (the owner's decision round)
+
+  Role role_ = Role::Unassigned;
+  RobotId group_id_ = 0;
+  /// Helper: the robot currently being followed (0 = parked).
+  RobotId followed_ = 0;
+  /// Finder phase 1.
+  TokenMapper mapper_;
+  /// Finder phase 2 tour.
+  bool tour_ready_ = false;
+  std::vector<MapGraph::TourStep> tour_;
+  std::size_t tour_idx_ = 0;
+
+  void assign_role(const RoundView& view);
+  [[nodiscard]] BehaviorResult finder_step(const RoundView& view);
+  [[nodiscard]] BehaviorResult helper_step(const RoundView& view);
+  [[nodiscard]] BehaviorResult waiter_step(const RoundView& view);
+  [[nodiscard]] BehaviorResult result(Action action) const;
+};
+
+}  // namespace gather::core

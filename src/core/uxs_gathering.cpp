@@ -1,0 +1,93 @@
+#include "core/uxs_gathering.hpp"
+
+#include "support/assert.hpp"
+#include "support/bitstring.hpp"
+
+namespace gather::core {
+
+UxsGatheringBehavior::UxsGatheringBehavior(RobotId self,
+                                           uxs::SequencePtr sequence,
+                                           Round start)
+    : self_(self), seq_(std::move(sequence)), start_(start) {
+  GATHER_EXPECTS(seq_ != nullptr);
+  GATHER_EXPECTS(seq_->length() >= 1);
+  t_ = seq_->length();
+  bits_ = support::label_bit_length(self_);
+}
+
+Round UxsGatheringBehavior::phase_end(Round phase) const {
+  return start_ + 2 * t_ * (phase + 1);
+}
+
+BehaviorResult UxsGatheringBehavior::result(Action action) const {
+  BehaviorResult r;
+  r.action = action;
+  r.tag = following_ ? StateTag::Follower : StateTag::Leader;
+  r.group_id = following_ ? leader_ : self_;
+  return r;
+}
+
+BehaviorResult UxsGatheringBehavior::step(const RoundView& view) {
+  const Round r = view.round;
+  GATHER_EXPECTS(r >= start_);
+
+  // Merging: whoever is co-located with a larger label starts following
+  // the largest label present (the largest-ID robot of the merged group).
+  const RobotId biggest = max_other_id(view, self_);
+  if (following_) {
+    if (biggest > leader_) leader_ = biggest;
+    return result(Action::follow(leader_));
+  }
+  if (biggest > self_) {
+    following_ = true;
+    leader_ = biggest;
+    return result(Action::follow(leader_));
+  }
+
+  return leader_step(view);
+}
+
+BehaviorResult UxsGatheringBehavior::leader_step(const RoundView& view) {
+  const Round r = view.round;
+  const Round phase = (r - start_) / (2 * t_);
+  const Round rel = (r - start_) % (2 * t_);
+
+  if (phase >= bits_ + 1) {
+    // The 2T termination window elapsed and no larger label appeared
+    // (a larger label would have converted us to a follower): gathering
+    // is complete (Lemma 2); terminate (Lemma 3).
+    return result(Action::terminate());
+  }
+
+  if (phase == bits_) {
+    // Label exhausted: wait out one whole 2T phase, watching for larger
+    // labels (the engine wakes us on any arrival).
+    return result(Action::stay_until_round(phase_end(phase)));
+  }
+
+  // Working on bit `phase`: bit 1 explores first, bit 0 waits first.
+  const bool bit =
+      support::label_bit_lsb_first(self_, static_cast<unsigned>(phase));
+  const bool exploring = bit ? (rel < t_) : (rel >= t_);
+  if (!exploring) {
+    const Round boundary =
+        bit ? phase_end(phase) : start_ + 2 * t_ * phase + t_;
+    return result(Action::stay_until_round(boundary));
+  }
+
+  // Walk step w within the exploration window.
+  const Round w = bit ? rel : rel - t_;
+  if (view.degree == 0) {
+    // Single-node graph: exploration degenerates to waiting.
+    const Round boundary = bit ? start_ + 2 * t_ * phase + t_ : phase_end(phase);
+    return result(Action::stay_until_round(boundary));
+  }
+  // Step 0 starts a fresh walk (entry port unset); later steps chain off
+  // the entry port of the previous round's move.
+  const sim::Port entry = (w == 0) ? sim::kNoPort : view.entry_port;
+  const sim::Port exit = uxs::next_port(
+      entry, seq_->offset(static_cast<std::uint64_t>(w)), view.degree);
+  return result(Action::move(exit, true));
+}
+
+}  // namespace gather::core

@@ -1,0 +1,49 @@
+// UXS-based gathering with detection (§2.1) — the catch-all that works
+// for any number of robots and any configuration, in O(T·log L) rounds
+// (T = exploration bound, L = largest label), i.e. Õ(n^5) with the
+// paper's T.
+//
+// Time is divided into phases of 2T rounds, aligned for all robots. In
+// phase p a group leader (a robot not following anyone) reads bit p of
+// its label (LSB first):
+//   bit 1 — explore with the UXS for T rounds, then wait T;
+//   bit 0 — wait T rounds, then explore for T.
+// Groups that meet merge: everyone follows the largest label present
+// (Follow = mirror its moves). A leader whose label has run out of bits
+// waits one whole 2T phase; if no robot with a larger label shows up
+// during that window it declares gathering complete and terminates
+// (Lemmas 1–3); followers terminate with their leader (Lemma 4).
+#pragma once
+
+#include "core/behavior.hpp"
+#include "uxs/uxs.hpp"
+
+namespace gather::core {
+
+class UxsGatheringBehavior {
+ public:
+  /// Runs from round `start`; phase p spans [start + 2Tp, start + 2T(p+1)).
+  UxsGatheringBehavior(RobotId self, uxs::SequencePtr sequence, Round start);
+
+  /// Returns Terminate when §2.1's detection fires (leaders), or a Follow
+  /// that resolves to the leader's termination (followers).
+  [[nodiscard]] BehaviorResult step(const RoundView& view);
+
+  /// Upper bound on the last round this behavior can act (for schedules):
+  /// start + 2T(maxbits+1) with maxbits ≥ bitlen of any label.
+  [[nodiscard]] Round phase_end(Round phase) const;
+
+ private:
+  RobotId self_;
+  uxs::SequencePtr seq_;
+  Round start_;
+  Round t_;  ///< exploration period T == sequence length
+  bool following_ = false;
+  RobotId leader_ = 0;
+  unsigned bits_;  ///< natural bit length of own label
+
+  [[nodiscard]] BehaviorResult leader_step(const RoundView& view);
+  [[nodiscard]] BehaviorResult result(Action action) const;
+};
+
+}  // namespace gather::core

@@ -1,0 +1,55 @@
+#include "core/walk_enumerator.hpp"
+
+#include "support/assert.hpp"
+
+namespace gather::core {
+
+WalkEnumerator::WalkEnumerator(unsigned max_depth) : max_depth_(max_depth) {
+  GATHER_EXPECTS(max_depth >= 1);
+}
+
+std::optional<sim::Port> WalkEnumerator::next_move(std::uint32_t degree,
+                                                   sim::Port entry_port) {
+  if (done_) return std::nullopt;
+
+  // Account for the move issued last round.
+  if (pending_ == Pending::Descended) {
+    // We arrived at a new (deeper) node through `entry_port`.
+    GATHER_INVARIANT(entry_port != sim::kNoPort);
+    stack_.push_back(Frame{0, entry_port});
+  }
+  // Ascents popped their frame before moving; nothing to do.
+  pending_ = Pending::None;
+
+  if (stack_.empty()) {
+    // First call: we are at the walk's root.
+    stack_.push_back(Frame{0, sim::kNoPort});
+  }
+
+  Frame& top = stack_.back();
+  const unsigned depth = static_cast<unsigned>(stack_.size()) - 1;
+
+  if (depth < max_depth_ && top.next_port < degree) {
+    // Descend through the next untried port (lexicographic order).
+    const sim::Port port = top.next_port;
+    ++top.next_port;
+    pending_ = Pending::Descended;
+    ++moves_;
+    return port;
+  }
+
+  if (depth == 0) {
+    // All root ports exhausted: the walk is complete, robot at the root.
+    done_ = true;
+    return std::nullopt;
+  }
+
+  // Backtrack to the parent through our entry port.
+  const sim::Port back = top.return_port;
+  stack_.pop_back();
+  pending_ = Pending::Ascended;
+  ++moves_;
+  return back;
+}
+
+}  // namespace gather::core

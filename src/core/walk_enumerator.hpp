@@ -1,0 +1,55 @@
+// Exhaustive depth-limited port-walk — the "DFS traversal following the
+// port numbers" of i-Hop-Meeting (§2.3).
+//
+// In an anonymous graph a robot cannot recognize previously visited
+// nodes, so "visit all nodes within i hops" is realized as a physical
+// walk over the *tree of all port sequences of length ≤ i*, in
+// lexicographic port order with backtracking (the robot knows the entry
+// port of each traversal, which is what makes backtracking possible).
+// Every node within hop distance i lies on some such sequence, so it is
+// visited; the move count is 2 · (#walk-tree edges) ≤ Σ_{j=1..i} 2(n-1)^j,
+// i.e. exactly the paper's cycle budget T(i), with equality on the
+// complete graph.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace gather::core {
+
+class WalkEnumerator {
+ public:
+  /// max_depth = the hop radius i (>= 1).
+  explicit WalkEnumerator(unsigned max_depth);
+
+  /// One call per round in which the robot may move. `degree` is the
+  /// current node's degree; `entry_port` the entry port of the robot's
+  /// LAST move (ignored except right after a move initiated by this
+  /// enumerator). Returns the port to move through, or nullopt when the
+  /// walk is complete (robot is back at its starting node).
+  [[nodiscard]] std::optional<sim::Port> next_move(std::uint32_t degree,
+                                                   sim::Port entry_port);
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// Moves issued so far (for budget assertions).
+  [[nodiscard]] std::uint64_t moves() const noexcept { return moves_; }
+
+ private:
+  struct Frame {
+    sim::Port next_port = 0;            ///< next child port to try
+    sim::Port return_port = sim::kNoPort;  ///< entry port when we descended here
+  };
+
+  enum class Pending : std::uint8_t { None, Descended, Ascended };
+
+  unsigned max_depth_;
+  std::vector<Frame> stack_;
+  Pending pending_ = Pending::None;
+  bool done_ = false;
+  std::uint64_t moves_ = 0;
+};
+
+}  // namespace gather::core

@@ -1,0 +1,73 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace gather::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  GATHER_EXPECTS(source < g.num_nodes());
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const HalfEdge& h : g.neighbors(v)) {
+      if (dist[h.to] == kUnreachable) {
+        dist[h.to] = dist[v] + 1;
+        frontier.push(h.to);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::vector<std::vector<std::uint32_t>> all_pairs_distances(const Graph& g) {
+  std::vector<std::vector<std::uint32_t>> dist;
+  dist.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) dist.push_back(bfs_distances(g, v));
+  return dist;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  GATHER_EXPECTS(is_connected(g));
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (const std::uint32_t d : dist) best = std::max(best, d);
+  }
+  return best;
+}
+
+std::uint32_t min_pairwise_distance(const Graph& g,
+                                    const std::vector<NodeId>& nodes) {
+  GATHER_EXPECTS(nodes.size() >= 2);
+  std::uint32_t best = kUnreachable;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto dist = bfs_distances(g, nodes[i]);
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      best = std::min(best, dist[nodes[j]]);
+    }
+    if (best == 0) return 0;
+  }
+  return best;
+}
+
+std::vector<NodeId> ball(const Graph& g, NodeId center, std::uint32_t radius) {
+  const auto dist = bfs_distances(g, center);
+  std::vector<NodeId> result;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] != kUnreachable && dist[v] <= radius) result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace gather::graph

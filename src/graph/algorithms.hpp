@@ -1,0 +1,38 @@
+// Classic graph algorithms on the simulator side: connectivity, BFS
+// distances, diameter. These are *oracle* computations — used by
+// generators, placements, tests, and benches, never by the robots (robots
+// only ever see ports and co-located messages).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gather::graph {
+
+/// Sentinel distance for "unreachable".
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// BFS hop distances from `source` to every node.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// All-pairs hop distances (n BFS runs); n is small in experiments.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> all_pairs_distances(const Graph& g);
+
+/// Graph diameter (max eccentricity). Requires connected g.
+[[nodiscard]] std::uint32_t diameter(const Graph& g);
+
+/// The minimum pairwise hop distance among the robots' start nodes —
+/// the quantity Lemma 15 bounds. `nodes` may contain duplicates (distance
+/// 0). Requires nodes.size() >= 2.
+[[nodiscard]] std::uint32_t min_pairwise_distance(const Graph& g,
+                                                  const std::vector<NodeId>& nodes);
+
+/// Nodes within hop distance `radius` of `center` (including center).
+[[nodiscard]] std::vector<NodeId> ball(const Graph& g, NodeId center,
+                                       std::uint32_t radius);
+
+}  // namespace gather::graph

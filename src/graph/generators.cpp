@@ -1,0 +1,309 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "graph/algorithms.hpp"
+#include "support/rng.hpp"
+
+namespace gather::graph {
+
+using support::Xoshiro256;
+
+Graph make_path(std::size_t n) {
+  GATHER_EXPECTS(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.finish();
+}
+
+Graph make_ring(std::size_t n) {
+  GATHER_EXPECTS(n >= 3);
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) b.add_edge(v, static_cast<NodeId>((v + 1) % n));
+  return b.finish();
+}
+
+Graph make_complete(std::size_t n) {
+  GATHER_EXPECTS(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return b.finish();
+}
+
+Graph make_star(std::size_t n) {
+  GATHER_EXPECTS(n >= 2);
+  GraphBuilder b(n);
+  for (NodeId leaf = 1; leaf < n; ++leaf) b.add_edge(0, leaf);
+  return b.finish();
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  GATHER_EXPECTS(rows >= 1 && cols >= 1 && rows * cols >= 1);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.finish();
+}
+
+Graph make_torus(std::size_t rows, std::size_t cols) {
+  GATHER_EXPECTS(rows >= 3 && cols >= 3);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      b.add_edge(id(r, c), id(r, (c + 1) % cols));
+      b.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return b.finish();
+}
+
+Graph make_hypercube(unsigned dim) {
+  GATHER_EXPECTS(dim >= 1 && dim < 20);
+  const std::size_t n = std::size_t{1} << dim;
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (unsigned d = 0; d < dim; ++d) {
+      const NodeId u = v ^ (NodeId{1} << d);
+      if (v < u) b.add_edge(v, u);
+    }
+  }
+  return b.finish();
+}
+
+Graph make_complete_binary_tree(std::size_t n) {
+  GATHER_EXPECTS(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) b.add_edge(static_cast<NodeId>((v - 1) / 2), v);
+  return b.finish();
+}
+
+Graph make_lollipop(std::size_t n) {
+  GATHER_EXPECTS(n >= 3);
+  const std::size_t clique = (n + 1) / 2;
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < clique; ++u)
+    for (NodeId v = u + 1; v < clique; ++v) b.add_edge(u, v);
+  for (NodeId v = static_cast<NodeId>(clique); v < n; ++v)
+    b.add_edge(v - 1 < clique ? static_cast<NodeId>(clique - 1) : v - 1, v);
+  return b.finish();
+}
+
+Graph make_barbell(std::size_t n) {
+  GATHER_EXPECTS(n >= 6);
+  const std::size_t clique = n / 3;
+  GraphBuilder b(n);
+  // Left clique: nodes [0, clique); right clique: nodes [n-clique, n).
+  for (NodeId u = 0; u < clique; ++u)
+    for (NodeId v = u + 1; v < clique; ++v) b.add_edge(u, v);
+  const NodeId right = static_cast<NodeId>(n - clique);
+  for (NodeId u = right; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  // Path through the middle nodes [clique, right).
+  for (NodeId v = static_cast<NodeId>(clique); v <= right; ++v) {
+    if (v == clique) b.add_edge(static_cast<NodeId>(clique - 1), v);
+    else b.add_edge(v - 1, v == right ? right : v);
+    if (v == right) break;
+  }
+  return b.finish();
+}
+
+Graph make_caterpillar(std::size_t spine, std::size_t legs_per_node) {
+  GATHER_EXPECTS(spine >= 1);
+  const std::size_t n = spine * (1 + legs_per_node);
+  GraphBuilder b(n);
+  for (NodeId s = 0; s + 1 < spine; ++s) b.add_edge(s, s + 1);
+  NodeId next = static_cast<NodeId>(spine);
+  for (NodeId s = 0; s < spine; ++s)
+    for (std::size_t l = 0; l < legs_per_node; ++l) b.add_edge(s, next++);
+  return b.finish();
+}
+
+Graph make_wheel(std::size_t n) {
+  GATHER_EXPECTS(n >= 4);
+  GraphBuilder b(n);
+  // Hub is node 0; the rim is nodes 1..n-1.
+  for (NodeId v = 1; v < n; ++v) b.add_edge(0, v);
+  for (NodeId v = 1; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(static_cast<NodeId>(n - 1), 1);
+  return b.finish();
+}
+
+Graph make_complete_bipartite(std::size_t a, std::size_t b) {
+  GATHER_EXPECTS(a >= 1 && b >= 1);
+  GraphBuilder builder(a + b);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) {
+      builder.add_edge(u, static_cast<NodeId>(a + v));
+    }
+  }
+  return builder.finish();
+}
+
+Graph make_random_tree(std::size_t n, std::uint64_t seed) {
+  GATHER_EXPECTS(n >= 1);
+  if (n == 1) return GraphBuilder(1).finish();
+  if (n == 2) {
+    GraphBuilder b(2);
+    b.add_edge(0, 1);
+    return b.finish();
+  }
+  // Prüfer decoding gives a uniform random labeled tree.
+  Xoshiro256 rng(seed);
+  std::vector<NodeId> prufer(n - 2);
+  for (auto& p : prufer) p = static_cast<NodeId>(rng.below(n));
+  std::vector<std::uint32_t> degree(n, 1);
+  for (const NodeId p : prufer) ++degree[p];
+  GraphBuilder b(n);
+  std::set<NodeId> leaves;
+  for (NodeId v = 0; v < n; ++v)
+    if (degree[v] == 1) leaves.insert(v);
+  for (const NodeId p : prufer) {
+    const NodeId leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    b.add_edge(leaf, p);
+    if (--degree[p] == 1) leaves.insert(p);
+  }
+  const NodeId u = *leaves.begin();
+  const NodeId v = *std::next(leaves.begin());
+  b.add_edge(u, v);
+  return b.finish();
+}
+
+Graph make_random_connected(std::size_t n, std::size_t m, std::uint64_t seed) {
+  GATHER_EXPECTS(n >= 1);
+  GATHER_EXPECTS(m + 1 >= n);
+  GATHER_EXPECTS(m <= n * (n - 1) / 2);
+  Xoshiro256 rng(support::hash_combine(seed, 0x7ee1));
+  // Random spanning tree via a random permutation: attach each node to a
+  // uniformly random earlier node (random recursive tree — connected, and
+  // node identity is anonymized by the permutation).
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  rng.shuffle(perm);
+  GraphBuilder b(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    b.add_edge(perm[i], perm[j]);
+  }
+  std::size_t added = n - 1;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 64 * (m + 16) + 1024;
+  while (added < m) {
+    GATHER_INVARIANT(++attempts < max_attempts);
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    if (u == v || b.has_edge(u, v)) continue;
+    b.add_edge(u, v);
+    ++added;
+  }
+  return b.finish();
+}
+
+Graph make_random_regular(std::size_t n, std::uint32_t d, std::uint64_t seed) {
+  GATHER_EXPECTS(d >= 2 && d < n);
+  GATHER_EXPECTS((n * d) % 2 == 0);
+  // Pairing/configuration model with rejection; retry until simple and
+  // connected. For the small n used in experiments this converges quickly.
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    GATHER_INVARIANT(attempt < 4096);
+    Xoshiro256 rng(support::hash_combine(seed, attempt));
+    std::vector<NodeId> stubs;
+    stubs.reserve(n * d);
+    for (NodeId v = 0; v < n; ++v)
+      for (std::uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+    rng.shuffle(stubs);
+    GraphBuilder b(n);
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size() && ok; i += 2) {
+      const NodeId u = stubs[i];
+      const NodeId v = stubs[i + 1];
+      if (u == v || b.has_edge(u, v)) {
+        ok = false;
+        break;
+      }
+      b.add_edge(u, v);
+    }
+    if (!ok) continue;
+    Graph g = b.finish();
+    if (is_connected(g)) return g;
+  }
+}
+
+Graph shuffle_ports(const Graph& g, std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  Xoshiro256 rng(support::hash_combine(seed, 0x5109));
+  // Per-node permutation of port numbers: new_port[v][old_port].
+  std::vector<std::vector<Port>> new_port(n);
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<Port> perm(g.degree(v));
+    std::iota(perm.begin(), perm.end(), Port{0});
+    rng.shuffle(perm);
+    new_port[v] = std::move(perm);
+  }
+  // Rebuild adjacency under the permutation. GraphBuilder assigns ports by
+  // insertion order, so insert each node's edges in new-port order.
+  struct PendingEdge {
+    NodeId u, v;
+    Port pu, pv;
+  };
+  std::vector<PendingEdge> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const HalfEdge h = g.traverse(v, p);
+      if (v < h.to) {
+        edges.push_back(PendingEdge{v, h.to, new_port[v][p],
+                                    new_port[h.to][h.to_port]});
+      }
+    }
+  }
+  // Direct adjacency construction under the permutation; the builder's
+  // sequential port assignment cannot express arbitrary target ports.
+  std::vector<std::vector<HalfEdge>> adj(n);
+  for (NodeId v = 0; v < n; ++v)
+    adj[v].resize(g.degree(v), HalfEdge{0, 0});
+  for (const auto& e : edges) {
+    adj[e.u][e.pu] = HalfEdge{e.v, e.pv};
+    adj[e.v][e.pv] = HalfEdge{e.u, e.pu};
+  }
+  Graph out = Graph::from_adjacency(std::move(adj));
+  GATHER_ENSURES(out.num_edges() == g.num_edges());
+  return out;
+}
+
+std::vector<NamedGraph> standard_test_suite(std::uint64_t seed) {
+  std::vector<NamedGraph> suite;
+  suite.push_back({"path16", make_path(16)});
+  suite.push_back({"ring12", make_ring(12)});
+  suite.push_back({"complete8", make_complete(8)});
+  suite.push_back({"star10", make_star(10)});
+  suite.push_back({"grid4x4", make_grid(4, 4)});
+  suite.push_back({"torus3x4", make_torus(3, 4)});
+  suite.push_back({"hypercube4", make_hypercube(4)});
+  suite.push_back({"btree15", make_complete_binary_tree(15)});
+  suite.push_back({"lollipop11", make_lollipop(11)});
+  suite.push_back({"barbell12", make_barbell(12)});
+  suite.push_back({"caterpillar", make_caterpillar(5, 2)});
+  suite.push_back({"wheel9", make_wheel(9)});
+  suite.push_back({"kbipartite4x5", make_complete_bipartite(4, 5)});
+  suite.push_back({"rtree14", make_random_tree(14, seed)});
+  suite.push_back({"sparse15", make_random_connected(15, 20, seed + 1)});
+  suite.push_back({"dense12", make_random_connected(12, 40, seed + 2)});
+  suite.push_back({"regular12", make_random_regular(12, 3, seed + 3)});
+  return suite;
+}
+
+}  // namespace gather::graph

@@ -1,0 +1,73 @@
+// Graph family generators — the experiment workloads.
+//
+// Families are chosen to cover the regimes the paper's analysis cares
+// about: bounded degree vs dense (i-Hop-Meeting cycle cost), small vs
+// Ω(n) diameter (the trivial lower bound; adversarial spread), trees vs
+// cyclic, and the path graph on which Lemma 15's bound is tight.
+//
+// All generators are deterministic given their parameters (and seed, for
+// the randomized ones), and always return connected, simple graphs whose
+// port numbering is an arbitrary function of construction order — robots
+// may not rely on it, and tests randomize it via `shuffle_ports`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gather::graph {
+
+[[nodiscard]] Graph make_path(std::size_t n);
+[[nodiscard]] Graph make_ring(std::size_t n);          ///< n >= 3
+[[nodiscard]] Graph make_complete(std::size_t n);
+[[nodiscard]] Graph make_star(std::size_t n);          ///< center + n-1 leaves
+[[nodiscard]] Graph make_grid(std::size_t rows, std::size_t cols);
+[[nodiscard]] Graph make_torus(std::size_t rows, std::size_t cols);  ///< rows, cols >= 3
+[[nodiscard]] Graph make_hypercube(unsigned dim);      ///< 2^dim nodes
+[[nodiscard]] Graph make_complete_binary_tree(std::size_t n);
+
+/// Lollipop: a clique on ⌈n/2⌉ nodes with a path of the remaining nodes
+/// attached — the classic hard instance for walk-based exploration.
+[[nodiscard]] Graph make_lollipop(std::size_t n);
+
+/// Barbell: two cliques of ⌈n/3⌉ joined by a path.
+[[nodiscard]] Graph make_barbell(std::size_t n);
+
+/// Caterpillar: a spine path with legs, a tree with many degree-1 nodes.
+[[nodiscard]] Graph make_caterpillar(std::size_t spine, std::size_t legs_per_node);
+
+/// Wheel: a hub joined to every node of an (n-1)-ring. n >= 4.
+[[nodiscard]] Graph make_wheel(std::size_t n);
+
+/// Complete bipartite K_{a,b} — bipartite with small diameter, the
+/// opposite corner from rings in the (degree, diameter) space.
+[[nodiscard]] Graph make_complete_bipartite(std::size_t a, std::size_t b);
+
+/// Uniform random labeled tree (Prüfer sequence).
+[[nodiscard]] Graph make_random_tree(std::size_t n, std::uint64_t seed);
+
+/// Connected G(n, m): a random spanning tree plus m - (n-1) random extra
+/// edges. Requires n-1 <= m <= n(n-1)/2.
+[[nodiscard]] Graph make_random_connected(std::size_t n, std::size_t m,
+                                          std::uint64_t seed);
+
+/// Random d-regular connected graph (pairing model with retries).
+/// Requires n*d even, d >= 2, d < n.
+[[nodiscard]] Graph make_random_regular(std::size_t n, std::uint32_t d,
+                                        std::uint64_t seed);
+
+/// Return a copy of g with every node's port numbering permuted by a
+/// deterministic pseudorandom permutation — used to verify that algorithms
+/// depend on ports only through the model's interface.
+[[nodiscard]] Graph shuffle_ports(const Graph& g, std::uint64_t seed);
+
+/// A named standard suite of small/medium graphs for parameterized tests.
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+[[nodiscard]] std::vector<NamedGraph> standard_test_suite(std::uint64_t seed);
+
+}  // namespace gather::graph

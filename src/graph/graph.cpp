@@ -1,0 +1,74 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace gather::graph {
+
+GraphBuilder::GraphBuilder(std::size_t num_nodes) : adjacency_(num_nodes) {
+  GATHER_EXPECTS(num_nodes >= 1);
+}
+
+std::pair<Port, Port> GraphBuilder::add_edge(NodeId u, NodeId v) {
+  GATHER_EXPECTS(u < adjacency_.size());
+  GATHER_EXPECTS(v < adjacency_.size());
+  GATHER_EXPECTS(u != v);
+  GATHER_EXPECTS(!has_edge(u, v));
+  const Port pu = static_cast<Port>(adjacency_[u].size());
+  const Port pv = static_cast<Port>(adjacency_[v].size());
+  adjacency_[u].push_back(HalfEdge{v, pv});
+  adjacency_[v].push_back(HalfEdge{u, pu});
+  ++num_edges_;
+  return {pu, pv};
+}
+
+bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
+  GATHER_EXPECTS(u < adjacency_.size());
+  const auto& adj = adjacency_[u];
+  return std::any_of(adj.begin(), adj.end(),
+                     [v](const HalfEdge& h) { return h.to == v; });
+}
+
+Graph GraphBuilder::finish() {
+  Graph g = Graph::from_adjacency(std::move(adjacency_));
+  adjacency_.clear();
+  num_edges_ = 0;
+  return g;
+}
+
+Graph Graph::from_adjacency(std::vector<std::vector<HalfEdge>> adjacency) {
+  Graph g;
+  g.adjacency_ = std::move(adjacency);
+  g.max_degree_ = 0;
+  std::size_t degree_sum = 0;
+  for (const auto& adj : g.adjacency_) {
+    degree_sum += adj.size();
+    g.max_degree_ = std::max(g.max_degree_,
+                             static_cast<std::uint32_t>(adj.size()));
+  }
+  GATHER_EXPECTS(degree_sum % 2 == 0);
+  g.num_edges_ = degree_sum / 2;
+  GATHER_ENSURES(validate(g));
+  return g;
+}
+
+bool validate(const Graph& g) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& adj = g.neighbors(v);
+    for (Port p = 0; p < adj.size(); ++p) {
+      const HalfEdge h = adj[p];
+      if (h.to >= g.num_nodes()) return false;
+      if (h.to == v) return false;  // self-loop
+      if (h.to_port >= g.degree(h.to)) return false;
+      // Port symmetry: the far endpoint's half-edge must point back here.
+      const HalfEdge back = g.traverse(h.to, h.to_port);
+      if (back.to != v || back.to_port != p) return false;
+      // Simplicity: no second edge to the same neighbor.
+      for (Port q = 0; q < adj.size(); ++q) {
+        if (q != p && adj[q].to == h.to) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace gather::graph

@@ -1,0 +1,101 @@
+// Anonymous, undirected, connected graph with local port numbers — the
+// paper's model (§1.1): nodes are unlabeled; a node of degree δ numbers its
+// incident edges with distinct ports 0..δ-1; the two endpoints of an edge
+// may use different port numbers. Robots navigate exclusively by ports.
+//
+// NodeId values exist only on the simulator side (the "adversary's view");
+// the robot algorithms never see them — the sim layer enforces that by
+// exposing only degrees, ports, and co-located robot messages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace gather::graph {
+
+using NodeId = std::uint32_t;
+using Port = std::uint32_t;
+
+/// Sentinel for "no port" (e.g. the entry port at a walk's first node).
+inline constexpr Port kNoPort = static_cast<Port>(-1);
+
+/// One endpoint's view of an edge: crossing port `p` at some node lands at
+/// `to`, arriving through `to`'s port `to_port`.
+struct HalfEdge {
+  NodeId to = 0;
+  Port to_port = 0;
+
+  friend bool operator==(const HalfEdge&, const HalfEdge&) = default;
+};
+
+/// Immutable port-labeled graph. Build with GraphBuilder.
+class Graph {
+ public:
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  [[nodiscard]] std::uint32_t degree(NodeId v) const {
+    GATHER_EXPECTS(v < adjacency_.size());
+    return static_cast<std::uint32_t>(adjacency_[v].size());
+  }
+
+  /// The maximum degree Δ.
+  [[nodiscard]] std::uint32_t max_degree() const noexcept { return max_degree_; }
+
+  /// Cross the edge at (v, port): returns the far node and its entry port.
+  [[nodiscard]] HalfEdge traverse(NodeId v, Port port) const {
+    GATHER_EXPECTS(v < adjacency_.size());
+    GATHER_EXPECTS(port < adjacency_[v].size());
+    return adjacency_[v][port];
+  }
+
+  /// All half-edges out of v, indexed by port.
+  [[nodiscard]] const std::vector<HalfEdge>& neighbors(NodeId v) const {
+    GATHER_EXPECTS(v < adjacency_.size());
+    return adjacency_[v];
+  }
+
+  /// Construct directly from an adjacency-by-port table. Validates all
+  /// structural invariants (port symmetry, simplicity, no self-loops).
+  [[nodiscard]] static Graph from_adjacency(
+      std::vector<std::vector<HalfEdge>> adjacency);
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::vector<HalfEdge>> adjacency_;
+  std::size_t num_edges_ = 0;
+  std::uint32_t max_degree_ = 0;
+};
+
+/// Incremental builder; `finish()` validates port symmetry and simplicity.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t num_nodes);
+
+  /// Add an undirected edge u—v, assigning each endpoint its next free
+  /// port number (ports are therefore contiguous by construction).
+  /// Returns the (u_port, v_port) pair assigned.
+  std::pair<Port, Port> add_edge(NodeId u, NodeId v);
+
+  /// True if the edge u—v was already added (graphs here are simple).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return adjacency_.size(); }
+
+  /// Validate (symmetry, simplicity, no self-loops) and produce the Graph.
+  /// The builder is left empty afterwards.
+  [[nodiscard]] Graph finish();
+
+ private:
+  std::vector<std::vector<HalfEdge>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Check structural invariants of a built graph: port symmetry
+/// (traverse(traverse(v,p)) returns to (v,p)), simplicity, no self-loops.
+/// Returns true when all invariants hold.
+[[nodiscard]] bool validate(const Graph& g);
+
+}  // namespace gather::graph

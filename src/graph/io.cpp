@@ -1,0 +1,154 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <optional>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace gather::graph {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw IoError("line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::size_t line_no = 0;
+  std::string line;
+  std::size_t n = 0;
+  bool have_nodes = false;
+  // Collected explicit-port edges; auto mode uses the builder directly.
+  enum class Mode { Unknown, Auto, Explicit };
+  Mode mode = Mode::Unknown;
+  std::optional<GraphBuilder> builder;
+  std::vector<std::vector<HalfEdge>> adjacency;
+  auto ensure_port = [&](NodeId v, Port p, std::size_t at_line) {
+    if (adjacency[v].size() <= p) adjacency[v].resize(p + 1, HalfEdge{v, 0});
+    if (adjacency[v][p].to != v) fail(at_line, "duplicate port assignment");
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword)) continue;  // blank/comment line
+    if (keyword == "nodes") {
+      if (have_nodes) fail(line_no, "duplicate 'nodes' record");
+      if (!(fields >> n) || n == 0) fail(line_no, "'nodes' needs a count >= 1");
+      have_nodes = true;
+      adjacency.assign(n, {});
+      continue;
+    }
+    if (keyword != "edge") fail(line_no, "unknown record '" + keyword + "'");
+    if (!have_nodes) fail(line_no, "'edge' before 'nodes'");
+    std::vector<std::uint64_t> nums;
+    std::uint64_t x = 0;
+    while (fields >> x) nums.push_back(x);
+    if (nums.size() == 2) {
+      if (mode == Mode::Explicit) fail(line_no, "mixed auto/explicit ports");
+      mode = Mode::Auto;
+      if (!builder.has_value()) builder.emplace(n);
+      if (nums[0] >= n || nums[1] >= n) fail(line_no, "node out of range");
+      try {
+        builder->add_edge(static_cast<NodeId>(nums[0]),
+                          static_cast<NodeId>(nums[1]));
+      } catch (const ContractViolation& e) {
+        fail(line_no, e.what());
+      }
+    } else if (nums.size() == 4) {
+      if (mode == Mode::Auto) fail(line_no, "mixed auto/explicit ports");
+      mode = Mode::Explicit;
+      const auto u = static_cast<NodeId>(nums[0]);
+      const auto pu = static_cast<Port>(nums[1]);
+      const auto v = static_cast<NodeId>(nums[2]);
+      const auto pv = static_cast<Port>(nums[3]);
+      if (u >= n || v >= n) fail(line_no, "node out of range");
+      ensure_port(u, pu, line_no);
+      ensure_port(v, pv, line_no);
+      adjacency[u][pu] = HalfEdge{v, pv};
+      adjacency[v][pv] = HalfEdge{u, pu};
+    } else {
+      fail(line_no, "'edge' needs 2 (auto ports) or 4 (explicit) numbers");
+    }
+  }
+  if (!have_nodes) throw IoError("missing 'nodes' record");
+  try {
+    if (mode == Mode::Explicit) {
+      // Unfilled slots still point at their own node: incomplete labeling.
+      for (NodeId v = 0; v < n; ++v) {
+        for (Port p = 0; p < adjacency[v].size(); ++p) {
+          if (adjacency[v][p].to == v) {
+            throw IoError("node " + std::to_string(v) + " port " +
+                          std::to_string(p) + " unassigned (ports must be "
+                          "contiguous 0..deg-1)");
+          }
+        }
+      }
+      return Graph::from_adjacency(std::move(adjacency));
+    }
+    if (!builder.has_value()) builder.emplace(n);
+    return builder->finish();
+  } catch (const ContractViolation& e) {
+    throw IoError(std::string("invalid port labeling: ") + e.what());
+  }
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open '" + path + "'");
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# gather-detect edge list (explicit ports)\n";
+  out << "nodes " << g.num_nodes() << "\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const HalfEdge h = g.traverse(v, p);
+      if (v < h.to) {
+        out << "edge " << v << " " << p << " " << h.to << " " << h.to_port
+            << "\n";
+      }
+    }
+  }
+}
+
+void write_dot(std::ostream& out, const Graph& g, const Placement* placement,
+               const NodeId* gather_node) {
+  std::map<NodeId, std::size_t> robot_count;
+  if (placement != nullptr) {
+    for (const RobotStart& r : *placement) ++robot_count[r.node];
+  }
+  out << "graph G {\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << "  n" << v << " [label=\"";
+    if (const auto it = robot_count.find(v); it != robot_count.end()) {
+      out << it->second << "R";
+    }
+    out << "\"";
+    if (gather_node != nullptr && *gather_node == v) {
+      out << ", style=filled, fillcolor=gold";
+    } else if (robot_count.count(v) != 0) {
+      out << ", style=filled, fillcolor=lightblue";
+    }
+    out << "];\n";
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const HalfEdge h = g.traverse(v, p);
+      if (v < h.to) {
+        out << "  n" << v << " -- n" << h.to << " [taillabel=\"" << p
+            << "\", headlabel=\"" << h.to_port << "\", fontsize=8];\n";
+      }
+    }
+  }
+  out << "}\n";
+}
+
+}  // namespace gather::graph

@@ -1,0 +1,39 @@
+// Graph serialization: a plain edge-list interchange format and Graphviz
+// DOT export, so custom topologies can be fed to the tools and runs can
+// be visualized.
+//
+// Edge-list format (one record per line, '#' comments allowed):
+//   nodes <n>
+//   edge <u> <v>            # ports auto-assigned in file order
+//   edge <u> <pu> <v> <pv>  # explicit ports (must form a valid labeling)
+// Auto and explicit port forms may not be mixed within one file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/placement.hpp"
+
+namespace gather::graph {
+
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parse the edge-list format. Throws IoError with a line number on
+/// malformed input; the resulting graph is validated.
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+[[nodiscard]] Graph read_edge_list_file(const std::string& path);
+
+/// Serialize with explicit ports (round-trips through read_edge_list).
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Graphviz DOT export; optional placement marks start nodes, and an
+/// optional gather node is highlighted.
+void write_dot(std::ostream& out, const Graph& g,
+               const Placement* placement = nullptr,
+               const NodeId* gather_node = nullptr);
+
+}  // namespace gather::graph

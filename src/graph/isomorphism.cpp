@@ -1,0 +1,57 @@
+#include "graph/isomorphism.hpp"
+
+#include <queue>
+
+namespace gather::graph {
+
+std::optional<std::vector<NodeId>> port_isomorphism_rooted(const Graph& g,
+                                                           NodeId g_root,
+                                                           const Graph& h,
+                                                           NodeId h_root) {
+  GATHER_EXPECTS(g_root < g.num_nodes());
+  GATHER_EXPECTS(h_root < h.num_nodes());
+  if (g.num_nodes() != h.num_nodes() || g.num_edges() != h.num_edges())
+    return std::nullopt;
+  const NodeId unset = static_cast<NodeId>(-1);
+  std::vector<NodeId> image(g.num_nodes(), unset);
+  std::vector<bool> used(h.num_nodes(), false);
+  image[g_root] = h_root;
+  used[h_root] = true;
+  std::queue<NodeId> frontier;
+  frontier.push(g_root);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    const NodeId w = image[v];
+    if (g.degree(v) != h.degree(w)) return std::nullopt;
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const HalfEdge gv = g.traverse(v, p);
+      const HalfEdge hw = h.traverse(w, p);
+      if (gv.to_port != hw.to_port) return std::nullopt;
+      if (image[gv.to] == unset) {
+        if (used[hw.to]) return std::nullopt;  // not injective
+        image[gv.to] = hw.to;
+        used[hw.to] = true;
+        frontier.push(gv.to);
+      } else if (image[gv.to] != hw.to) {
+        return std::nullopt;
+      }
+    }
+  }
+  // Connectivity of g ensures every node was mapped.
+  for (const NodeId w : image)
+    if (w == unset) return std::nullopt;
+  return image;
+}
+
+bool port_isomorphic(const Graph& g, const Graph& h) {
+  if (g.num_nodes() != h.num_nodes() || g.num_edges() != h.num_edges())
+    return false;
+  if (g.num_nodes() == 0) return true;
+  for (NodeId h_root = 0; h_root < h.num_nodes(); ++h_root) {
+    if (port_isomorphism_rooted(g, 0, h, h_root).has_value()) return true;
+  }
+  return false;
+}
+
+}  // namespace gather::graph

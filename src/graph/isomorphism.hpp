@@ -1,0 +1,28 @@
+// Port-preserving isomorphism — the correctness oracle for Phase-1 map
+// construction (§2.2 / [18]).
+//
+// A finder's map is correct iff it is isomorphic to the hidden graph *as a
+// port-labeled graph*: there is a bijection f of nodes such that crossing
+// port p at v lands at f-image with the same entry port. Because ports
+// determine the walk completely, such an isomorphism is fixed by the image
+// of a single node, so the check is O(n·m) per candidate root — exact and
+// fast, no general graph-isomorphism machinery needed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gather::graph {
+
+/// If a port-preserving isomorphism g→h mapping g_root to h_root exists,
+/// return the node mapping (indexed by g's node ids); otherwise nullopt.
+[[nodiscard]] std::optional<std::vector<NodeId>> port_isomorphism_rooted(
+    const Graph& g, NodeId g_root, const Graph& h, NodeId h_root);
+
+/// True if some port-preserving isomorphism g→h exists (tries all images
+/// of g's node 0).
+[[nodiscard]] bool port_isomorphic(const Graph& g, const Graph& h);
+
+}  // namespace gather::graph

@@ -1,0 +1,191 @@
+#include "graph/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace gather::graph {
+
+using support::Xoshiro256;
+
+bool is_undispersed(const Placement& placement) {
+  std::vector<NodeId> nodes = start_nodes(placement);
+  std::sort(nodes.begin(), nodes.end());
+  return std::adjacent_find(nodes.begin(), nodes.end()) != nodes.end();
+}
+
+std::vector<NodeId> start_nodes(const Placement& placement) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(placement.size());
+  for (const RobotStart& r : placement) nodes.push_back(r.node);
+  return nodes;
+}
+
+std::vector<NodeId> nodes_all_on_one(const Graph& g, std::size_t k,
+                                     std::uint64_t seed) {
+  GATHER_EXPECTS(k >= 1);
+  Xoshiro256 rng(seed);
+  const NodeId node = static_cast<NodeId>(rng.below(g.num_nodes()));
+  return std::vector<NodeId>(k, node);
+}
+
+std::vector<NodeId> nodes_undispersed_random(const Graph& g, std::size_t k,
+                                             std::uint64_t seed) {
+  GATHER_EXPECTS(k >= 2);
+  Xoshiro256 rng(seed);
+  std::vector<NodeId> nodes;
+  nodes.reserve(k);
+  const NodeId doubled = static_cast<NodeId>(rng.below(g.num_nodes()));
+  nodes.push_back(doubled);
+  nodes.push_back(doubled);
+  for (std::size_t i = 2; i < k; ++i)
+    nodes.push_back(static_cast<NodeId>(rng.below(g.num_nodes())));
+  return nodes;
+}
+
+std::vector<NodeId> nodes_dispersed_random(const Graph& g, std::size_t k,
+                                           std::uint64_t seed) {
+  GATHER_EXPECTS(k <= g.num_nodes());
+  Xoshiro256 rng(seed);
+  std::vector<NodeId> all(g.num_nodes());
+  std::iota(all.begin(), all.end(), NodeId{0});
+  rng.shuffle(all);
+  all.resize(k);
+  return all;
+}
+
+std::vector<NodeId> nodes_adversarial_spread(const Graph& g, std::size_t k,
+                                             std::uint64_t seed) {
+  GATHER_EXPECTS(k >= 1 && k <= g.num_nodes());
+  Xoshiro256 rng(seed);
+  std::vector<NodeId> chosen;
+  chosen.reserve(k);
+  chosen.push_back(static_cast<NodeId>(rng.below(g.num_nodes())));
+  // dist_to_chosen[v] = min distance from v to any chosen node.
+  std::vector<std::uint32_t> dist_to_chosen = bfs_distances(g, chosen[0]);
+  while (chosen.size() < k) {
+    NodeId best = 0;
+    std::uint32_t best_dist = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (dist_to_chosen[v] > best_dist) {
+        best_dist = dist_to_chosen[v];
+        best = v;
+      }
+    }
+    chosen.push_back(best);
+    const auto d = bfs_distances(g, best);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      dist_to_chosen[v] = std::min(dist_to_chosen[v], d[v]);
+  }
+  return chosen;
+}
+
+std::vector<NodeId> nodes_pair_at_distance(const Graph& g, std::size_t k,
+                                           std::uint32_t distance,
+                                           std::uint64_t seed) {
+  GATHER_EXPECTS(k >= 2 && k <= g.num_nodes());
+  Xoshiro256 rng(seed);
+  // Collect all node pairs at exactly the requested distance; pick one.
+  std::vector<std::pair<NodeId, NodeId>> candidates;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto dist = bfs_distances(g, u);
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      if (dist[v] == distance) candidates.emplace_back(u, v);
+    }
+  }
+  GATHER_EXPECTS(!candidates.empty());
+  const auto [a, b] = candidates[rng.below(candidates.size())];
+  std::vector<NodeId> chosen{a, b};
+  if (distance == 0) chosen = {a, a};
+  std::vector<std::uint32_t> dist_to_chosen = bfs_distances(g, chosen[0]);
+  {
+    const auto d = bfs_distances(g, chosen[1]);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      dist_to_chosen[v] = std::min(dist_to_chosen[v], d[v]);
+  }
+  std::set<NodeId> used(chosen.begin(), chosen.end());
+  while (chosen.size() < k) {
+    NodeId best = 0;
+    std::int64_t best_score = -1;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (used.count(v) != 0) continue;
+      if (static_cast<std::int64_t>(dist_to_chosen[v]) > best_score) {
+        best_score = dist_to_chosen[v];
+        best = v;
+      }
+    }
+    GATHER_INVARIANT(best_score >= 0);
+    chosen.push_back(best);
+    used.insert(best);
+    const auto d = bfs_distances(g, best);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      dist_to_chosen[v] = std::min(dist_to_chosen[v], d[v]);
+  }
+  return chosen;
+}
+
+std::vector<NodeId> nodes_clustered(const Graph& g, std::size_t k,
+                                    std::size_t clusters, std::uint64_t seed) {
+  GATHER_EXPECTS(clusters >= 1 && clusters <= k);
+  GATHER_EXPECTS(clusters <= g.num_nodes());
+  const std::vector<NodeId> centers = nodes_adversarial_spread(g, clusters, seed);
+  std::vector<NodeId> nodes;
+  nodes.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) nodes.push_back(centers[i % clusters]);
+  return nodes;
+}
+
+std::vector<RobotLabel> labels_sequential(std::size_t k) {
+  std::vector<RobotLabel> labels(k);
+  std::iota(labels.begin(), labels.end(), RobotLabel{1});
+  return labels;
+}
+
+std::vector<RobotLabel> labels_random_distinct(std::size_t k, std::size_t n,
+                                               unsigned b, std::uint64_t seed) {
+  GATHER_EXPECTS(n >= 1 && b >= 1);
+  const std::uint64_t max_label = support::sat_pow(n, b);
+  GATHER_EXPECTS(k <= max_label);
+  Xoshiro256 rng(seed);
+  std::set<RobotLabel> picked;
+  while (picked.size() < k) picked.insert(rng.between(1, max_label));
+  return {picked.begin(), picked.end()};
+}
+
+std::vector<RobotLabel> labels_equal_length(std::size_t k, std::size_t n,
+                                            unsigned b) {
+  GATHER_EXPECTS(k >= 1);
+  const std::uint64_t max_label = support::sat_pow(n, b);
+  // All labels of bit length w lie in [2^(w-1), 2^w - 1]. Use the largest
+  // w for which k consecutive length-w labels fit below max_label.
+  for (unsigned w = support::bit_width_u64(max_label); w >= 1; --w) {
+    const std::uint64_t lo = w == 1 ? 1 : (std::uint64_t{1} << (w - 1));
+    const std::uint64_t hi = (std::uint64_t{1} << w) - 1;
+    if (hi - lo + 1 >= k && lo + k - 1 <= max_label) {
+      std::vector<RobotLabel> labels(k);
+      std::iota(labels.begin(), labels.end(), lo);
+      return labels;
+    }
+  }
+  GATHER_EXPECTS(!"no equal-length label range fits k labels");
+  return {};
+}
+
+Placement make_placement(const std::vector<NodeId>& nodes,
+                         const std::vector<RobotLabel>& labels) {
+  GATHER_EXPECTS(nodes.size() == labels.size());
+  // Labels must be unique.
+  std::vector<RobotLabel> sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  GATHER_EXPECTS(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+  Placement placement(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    placement[i] = RobotStart{nodes[i], labels[i]};
+  return placement;
+}
+
+}  // namespace gather::graph

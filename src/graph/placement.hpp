@@ -1,0 +1,96 @@
+// Robot placement and label-assignment strategies — the "initial
+// configurations" of the paper's theorems.
+//
+// The paper distinguishes *undispersed* configurations (some node holds
+// two or more robots) from *dispersed* ones (every node holds at most
+// one), and its regime bounds are driven by the minimum pairwise distance
+// of the placement, which an adversary maximizes (Lemma 15). The
+// strategies here construct exactly those situations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gather::graph {
+
+using RobotLabel = std::uint64_t;
+
+/// One robot's starting node and unique label.
+struct RobotStart {
+  NodeId node = 0;
+  RobotLabel label = 0;
+};
+
+using Placement = std::vector<RobotStart>;
+
+/// True if some node holds two or more robots (the paper's "undispersed").
+[[nodiscard]] bool is_undispersed(const Placement& placement);
+
+/// Start nodes only (with multiplicity).
+[[nodiscard]] std::vector<NodeId> start_nodes(const Placement& placement);
+
+// ---- node selection strategies -----------------------------------------
+
+/// All k robots on one uniformly chosen node.
+[[nodiscard]] std::vector<NodeId> nodes_all_on_one(const Graph& g, std::size_t k,
+                                                   std::uint64_t seed);
+
+/// Random undispersed: one random node gets two robots, the rest land on
+/// uniformly random nodes (k >= 2).
+[[nodiscard]] std::vector<NodeId> nodes_undispersed_random(const Graph& g,
+                                                           std::size_t k,
+                                                           std::uint64_t seed);
+
+/// Random dispersed: k distinct nodes chosen uniformly (k <= n).
+[[nodiscard]] std::vector<NodeId> nodes_dispersed_random(const Graph& g,
+                                                         std::size_t k,
+                                                         std::uint64_t seed);
+
+/// Adversarial spread: greedy farthest-point placement maximizing the
+/// minimum pairwise distance (2-approximation of the optimum — the
+/// standard k-center greedy; deterministic given the seed of the first
+/// pick). k <= n. This is the placement the paper's "robots are placed by
+/// an adversary" analysis has in mind.
+[[nodiscard]] std::vector<NodeId> nodes_adversarial_spread(const Graph& g,
+                                                           std::size_t k,
+                                                           std::uint64_t seed);
+
+/// Dispersed with a planted close pair: two robots at hop distance exactly
+/// `distance` from each other (requires such a pair to exist), remaining
+/// robots placed greedily far from everything. k <= n.
+[[nodiscard]] std::vector<NodeId> nodes_pair_at_distance(const Graph& g,
+                                                         std::size_t k,
+                                                         std::uint32_t distance,
+                                                         std::uint64_t seed);
+
+/// Clustered: robots split into `clusters` co-located groups placed by
+/// adversarial spread (undispersed when k > clusters).
+[[nodiscard]] std::vector<NodeId> nodes_clustered(const Graph& g, std::size_t k,
+                                                  std::size_t clusters,
+                                                  std::uint64_t seed);
+
+// ---- label assignment strategies ---------------------------------------
+
+/// Labels 1..k (shuffled association with nodes by seed).
+[[nodiscard]] std::vector<RobotLabel> labels_sequential(std::size_t k);
+
+/// Distinct uniform labels from [1, n^b] (b is the model's ID-range
+/// exponent). Requires k <= n^b.
+[[nodiscard]] std::vector<RobotLabel> labels_random_distinct(std::size_t k,
+                                                             std::size_t n,
+                                                             unsigned b,
+                                                             std::uint64_t seed);
+
+/// Distinct labels that all share the maximum bit length available in
+/// [1, n^b] — stresses the §2.1 equal-length termination argument.
+[[nodiscard]] std::vector<RobotLabel> labels_equal_length(std::size_t k,
+                                                          std::size_t n,
+                                                          unsigned b);
+
+/// Zip nodes and labels into a Placement.
+[[nodiscard]] Placement make_placement(const std::vector<NodeId>& nodes,
+                                       const std::vector<RobotLabel>& labels);
+
+}  // namespace gather::graph

@@ -1,0 +1,15 @@
+#include "sim/action.hpp"
+
+namespace gather::sim {
+
+std::string to_string(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::Stay: return "Stay";
+    case ActionKind::Move: return "Move";
+    case ActionKind::Follow: return "Follow";
+    case ActionKind::Terminate: return "Terminate";
+  }
+  return "?";
+}
+
+}  // namespace gather::sim

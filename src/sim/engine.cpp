@@ -1,0 +1,346 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/math.hpp"
+
+namespace gather::sim {
+
+namespace {
+
+/// FNV-1a accumulation of a 64-bit word into the trace hash.
+void hash_word(std::uint64_t& h, std::uint64_t w) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (w >> (8 * i)) & 0xffULL;
+    h *= 1099511628211ULL;
+  }
+}
+
+}  // namespace
+
+Engine::Engine(const graph::Graph& graph, EngineConfig config)
+    : graph_(graph), config_(config), occupants_(graph.num_nodes()) {
+  GATHER_EXPECTS(config_.hard_cap > 0);
+}
+
+void Engine::add_robot(std::unique_ptr<Robot> robot, NodeId start) {
+  GATHER_EXPECTS(!ran_);
+  GATHER_EXPECTS(robot != nullptr);
+  GATHER_EXPECTS(start < graph_.num_nodes());
+  const RobotId id = robot->id();
+  GATHER_EXPECTS(id >= 1);
+  GATHER_EXPECTS(index_of_.find(id) == index_of_.end());
+  const std::size_t slot = slots_.size();
+  slots_.push_back(Slot{});
+  slots_[slot].robot = std::move(robot);
+  slots_[slot].pos = start;
+  index_of_.emplace(id, slot);
+  occupants_insert(start, slot);
+  heap_push(0, slot);
+}
+
+NodeId Engine::position_of(RobotId id) const { return slots_[index_of(id)].pos; }
+
+std::size_t Engine::index_of(RobotId id) const {
+  const auto it = index_of_.find(id);
+  GATHER_EXPECTS(it != index_of_.end());
+  return it->second;
+}
+
+void Engine::heap_push(Round round, std::size_t slot) {
+  slots_[slot].wake = round;
+  heap_.emplace_back(round, slot);
+  std::push_heap(heap_.begin(), heap_.end(),
+                 std::greater<std::pair<Round, std::size_t>>{});
+}
+
+bool Engine::heap_pop_next(Round& round) {
+  // Pop stale entries (slot terminated, or wake was moved earlier/later).
+  while (!heap_.empty()) {
+    const auto [r, slot] = heap_.front();
+    if (slots_[slot].terminated || slots_[slot].wake != r) {
+      std::pop_heap(heap_.begin(), heap_.end(),
+                    std::greater<std::pair<Round, std::size_t>>{});
+      heap_.pop_back();
+      continue;
+    }
+    round = r;
+    return true;
+  }
+  return false;
+}
+
+void Engine::occupants_insert(NodeId node, std::size_t slot) {
+  auto& list = occupants_[node];
+  const RobotId id = slots_[slot].robot->id();
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), id, [this](std::size_t s, RobotId target) {
+        return slots_[s].robot->id() < target;
+      });
+  list.insert(it, slot);
+}
+
+void Engine::occupants_erase(NodeId node, std::size_t slot) {
+  auto& list = occupants_[node];
+  const auto it = std::find(list.begin(), list.end(), slot);
+  GATHER_INVARIANT(it != list.end());
+  list.erase(it);
+}
+
+bool Engine::all_colocated() const {
+  if (slots_.empty()) return true;
+  const NodeId node = slots_.front().pos;
+  return std::all_of(slots_.begin(), slots_.end(),
+                     [node](const Slot& s) { return s.pos == node; });
+}
+
+RunResult Engine::run() {
+  GATHER_EXPECTS(!ran_);
+  GATHER_EXPECTS(!slots_.empty());
+  ran_ = true;
+
+  RunResult result;
+  auto& m = result.metrics;
+  m.moves_per_robot.assign(slots_.size(), 0);
+
+  // Size the reusable per-round scratch buffers.
+  decisions_.assign(slots_.size(), Action{});
+  decision_stamp_.assign(slots_.size(), kNoRound);
+  resolved_.assign(slots_.size(), Action{});
+  resolved_stamp_.assign(slots_.size(), kNoRound);
+  resolve_mark_.assign(slots_.size(), 0);
+
+  std::size_t alive = slots_.size();
+  Round r = 0;
+  std::vector<std::size_t> active;
+  bool first_round = true;
+
+  while (alive > 0) {
+    if (config_.naive_stepping) {
+      r = first_round ? 0 : r + 1;
+    } else {
+      Round next = 0;
+      if (!heap_pop_next(next)) {
+        throw SimError("engine deadlock: live robots but no wake deadline");
+      }
+      GATHER_INVARIANT(first_round || next > r);
+      r = next;
+    }
+    first_round = false;
+    if (r > config_.hard_cap) {
+      result.hit_round_cap = true;
+      break;
+    }
+
+    // ---- collect this round's active robots -----------------------------
+    active.clear();
+    if (config_.naive_stepping) {
+      for (std::size_t s = 0; s < slots_.size(); ++s) {
+        if (!slots_[s].terminated) active.push_back(s);
+      }
+    } else {
+      // Drain every heap entry scheduled at round r (dedupe via stamp).
+      for (;;) {
+        Round next = 0;
+        if (!heap_pop_next(next) || next != r) break;
+        const std::size_t slot = heap_.front().second;
+        std::pop_heap(heap_.begin(), heap_.end(),
+                      std::greater<std::pair<Round, std::size_t>>{});
+        heap_.pop_back();
+        if (slots_[slot].active_stamp != r) {
+          slots_[slot].active_stamp = r;
+          active.push_back(slot);
+        }
+      }
+      std::sort(active.begin(), active.end());
+    }
+    GATHER_INVARIANT(!active.empty());
+
+    const std::size_t movers = simulate_round(r, active, result);
+
+    // ---- post-round bookkeeping -----------------------------------------
+    m.rounds = r;
+    ++m.simulated_rounds;
+    alive = 0;
+    for (const Slot& s : slots_)
+      if (!s.terminated) ++alive;
+    if ((movers > 0 || m.simulated_rounds == 1) &&
+        m.first_gathered == kNoRound && all_colocated()) {
+      m.first_gathered = r;
+    }
+    if (config_.stop_when_gathered && m.first_gathered != kNoRound) break;
+    (void)movers;
+  }
+
+  result.all_terminated = (alive == 0);
+  result.gathered_at_end = all_colocated();
+  if (result.gathered_at_end) result.gather_node = slots_.front().pos;
+  result.detection_correct =
+      result.all_terminated &&
+      m.first_termination == m.last_termination &&
+      result.gathered_at_end;
+  for (const Slot& s : slots_) m.total_moves += s.moves;
+  for (std::size_t s = 0; s < slots_.size(); ++s)
+    m.moves_per_robot[s] = slots_[s].moves;
+  return result;
+}
+
+const std::vector<RobotPublicState>& Engine::view_for(NodeId node) {
+  for (std::size_t i = 0; i < views_used_; ++i) {
+    if (view_pool_[i].node == node) return view_pool_[i].snapshot;
+  }
+  if (views_used_ == view_pool_.size()) view_pool_.emplace_back();
+  ViewSlot& slot = view_pool_[views_used_++];
+  slot.node = node;
+  slot.snapshot.clear();
+  for (const std::size_t occ : occupants_[node])
+    slot.snapshot.push_back(slots_[occ].robot->public_state());
+  return slot.snapshot;
+}
+
+Action Engine::resolve_action(std::size_t s, Round r) {
+  // Concrete (non-Follow) action for slot s this round; sleeping robots
+  // implicitly Stay until their wake deadline. Iterative chain walk with
+  // cycle detection via resolve_mark_.
+  if (resolved_stamp_[s] == r) return resolved_[s];
+  if (resolve_mark_[s] != 0)
+    throw ContractViolation("follow cycle detected at round " +
+                            std::to_string(r));
+  resolve_mark_[s] = 1;
+  Action out;
+  if (decision_stamp_[s] != r) {
+    // Sleeping robot: implied promise is Stay until its wake deadline.
+    out = Action::stay_until_round(slots_[s].wake);
+  } else if (decisions_[s].kind != ActionKind::Follow) {
+    out = decisions_[s];
+  } else {
+    const std::size_t leader = index_of(decisions_[s].leader);
+    if (slots_[leader].pos != slots_[s].pos)
+      throw ContractViolation("robot follows non-co-located leader");
+    if (slots_[leader].terminated)
+      throw ContractViolation("robot follows terminated leader");
+    const Action leader_action = resolve_action(leader, r);
+    switch (leader_action.kind) {
+      case ActionKind::Move:
+        out = leader_action.take_followers
+                  ? Action::move(leader_action.port, true)
+                  : Action::stay_one(r);
+        break;
+      case ActionKind::Stay:
+        out = leader_action;
+        break;
+      case ActionKind::Terminate:
+        out = Action::terminate();
+        break;
+      case ActionKind::Follow:
+        GATHER_INVARIANT(!"unreachable: resolve returns concrete actions");
+        break;
+    }
+  }
+  resolve_mark_[s] = 0;
+  resolved_[s] = out;
+  resolved_stamp_[s] = r;
+  return out;
+}
+
+std::size_t Engine::simulate_round(Round r, std::vector<std::size_t>& active,
+                                   RunResult& result) {
+  auto& m = result.metrics;
+
+  // ---- build communication views (per node hosting an active robot) ----
+  // Views snapshot the public states as of the END of the previous round;
+  // they are materialized before any on_round call so that decisions are
+  // simultaneous.
+  views_used_ = 0;
+  for (const std::size_t s : active) (void)view_for(slots_[s].pos);
+
+  // ---- decisions --------------------------------------------------------
+  for (const std::size_t s : active) {
+    Slot& slot = slots_[s];
+    RoundView view;
+    view.round = r;
+    view.degree = graph_.degree(slot.pos);
+    view.entry_port = slot.entry_port;
+    view.colocated = &view_for(slot.pos);
+    const RobotId self = slot.robot->id();
+    for (const RobotPublicState& other : *view.colocated) {
+      if (other.id == self) continue;
+      m.total_message_bits += support::bit_width_u64(other.id) +
+                              support::bit_width_u64(other.group_id) + 3;
+    }
+    decisions_[s] = slot.robot->on_round(view);
+    decision_stamp_[s] = r;
+    ++m.decision_calls;
+  }
+
+  // ---- resolve follow chains ---------------------------------------------
+  for (const std::size_t s : active) (void)resolve_action(s, r);
+
+  // ---- apply moves and terminations simultaneously ----------------------
+  std::size_t movers = 0;
+  std::vector<NodeId>& touched_nodes = touched_nodes_;
+  touched_nodes.clear();
+  for (const std::size_t s : active) {
+    Slot& slot = slots_[s];
+    const Action action = resolved_[s];
+    switch (action.kind) {
+      case ActionKind::Move: {
+        GATHER_EXPECTS(action.port < graph_.degree(slot.pos));
+        const NodeId from = slot.pos;
+        const graph::HalfEdge h = graph_.traverse(from, action.port);
+        occupants_erase(from, s);
+        occupants_insert(h.to, s);
+        slot.pos = h.to;
+        slot.entry_port = h.to_port;
+        ++slot.moves;
+        ++movers;
+        touched_nodes.push_back(from);
+        touched_nodes.push_back(h.to);
+        hash_word(m.trace_hash, r);
+        hash_word(m.trace_hash, slot.robot->id());
+        hash_word(m.trace_hash, (static_cast<std::uint64_t>(from) << 32) | h.to);
+        if (config_.record_trace && trace_.size() < config_.trace_limit) {
+          trace_.push_back(TraceEvent{r, slot.robot->id(), from, h.to});
+        }
+        if (!config_.naive_stepping) heap_push(r + 1, s);
+        break;
+      }
+      case ActionKind::Stay: {
+        if (!config_.naive_stepping) {
+          heap_push(std::max(action.stay_until, r + 1), s);
+        }
+        break;
+      }
+      case ActionKind::Terminate: {
+        slot.terminated = true;
+        slot.robot->mark_terminated();
+        if (m.first_termination == kNoRound) m.first_termination = r;
+        m.last_termination = r;
+        hash_word(m.trace_hash, ~r);
+        hash_word(m.trace_hash, slot.robot->id());
+        break;
+      }
+      case ActionKind::Follow:
+        GATHER_INVARIANT(!"unreachable: actions were resolved");
+        break;
+    }
+  }
+
+  // ---- occupancy-change wakeups ------------------------------------------
+  if (!config_.naive_stepping) {
+    std::sort(touched_nodes.begin(), touched_nodes.end());
+    touched_nodes.erase(std::unique(touched_nodes.begin(), touched_nodes.end()),
+                        touched_nodes.end());
+    for (const NodeId node : touched_nodes) {
+      for (const std::size_t occ : occupants_[node]) {
+        if (slots_[occ].terminated) continue;
+        if (slots_[occ].wake > r + 1) heap_push(r + 1, occ);
+      }
+    }
+  }
+
+  return movers;
+}
+
+}  // namespace gather::sim

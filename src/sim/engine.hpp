@@ -1,0 +1,128 @@
+// The synchronous round engine — the paper's execution model (§1.1).
+//
+// Each round: (1) co-located robots exchange public states and decide
+// simultaneously from the previous round's snapshot; (2) moves execute.
+// Two engine features matter for fidelity and scale:
+//
+//  * Follow-chain resolution. "Follow X" is the F2F message "do what I
+//    do this round"; the engine resolves chains (helper → finder,
+//    follower → leader → ...) within the round. Chains are acyclic by
+//    construction of the algorithms (capture priority is strictly
+//    monotone); cycles are reported as contract violations.
+//
+//  * Event-driven skipping. Robots sleeping via Stay{until} are not
+//    polled; when no robot moves, the round counter jumps to the next
+//    wake deadline. Any occupancy change of a node wakes its occupants
+//    for the following round, preserving exact F2F semantics. The paper's
+//    Õ(n^5)-round schedules are dominated by such quiet stretches, which
+//    is what makes them simulable. `naive_stepping` disables all of this
+//    for the equivalence tests.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/metrics.hpp"
+#include "sim/robot.hpp"
+
+namespace gather::sim {
+
+struct EngineConfig {
+  /// Hard upper bound on the round counter; exceeding it ends the run
+  /// with hit_round_cap set (callers treat that as failure).
+  Round hard_cap = 0;
+  /// Disable sleeping/skipping: poll every robot every round. Identical
+  /// observable behaviour, used to validate the skip machinery.
+  bool naive_stepping = false;
+  /// End the run as soon as all robots are co-located (without requiring
+  /// termination) — used by baselines that have no detection of their own.
+  bool stop_when_gathered = false;
+  /// Record individual move events (bounded by trace_limit).
+  bool record_trace = false;
+  std::size_t trace_limit = 1u << 20;
+};
+
+struct TraceEvent {
+  Round round = 0;
+  RobotId robot = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+};
+
+class Engine {
+ public:
+  Engine(const graph::Graph& graph, EngineConfig config);
+
+  /// Register a robot at its start node. All robots must be added before
+  /// run(); labels must be unique.
+  void add_robot(std::unique_ptr<Robot> robot, NodeId start);
+
+  /// Execute until every robot has terminated, the hard cap is reached,
+  /// or no robot can ever act again (contract violation).
+  [[nodiscard]] RunResult run();
+
+  /// Adversary-view position of a robot (tests/oracles only).
+  [[nodiscard]] NodeId position_of(RobotId id) const;
+
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const noexcept {
+    return trace_;
+  }
+
+ private:
+  struct Slot {
+    std::unique_ptr<Robot> robot;
+    NodeId pos = 0;
+    Port entry_port = kNoPort;
+    Round wake = 0;
+    bool terminated = false;
+    std::uint64_t moves = 0;
+    Round active_stamp = kNoRound;  ///< dedupe marker for the active set
+  };
+
+  const graph::Graph& graph_;
+  EngineConfig config_;
+  std::vector<Slot> slots_;
+  std::unordered_map<RobotId, std::size_t> index_of_;
+  /// occupants_[node] = slot indices at node, sorted by robot id.
+  std::vector<std::vector<std::size_t>> occupants_;
+  /// Lazy min-heap of (wake_round, slot); entries may be stale.
+  std::vector<std::pair<Round, std::size_t>> heap_;
+  std::vector<TraceEvent> trace_;
+  bool ran_ = false;
+
+  // Reusable per-round scratch buffers (indexed by slot, stamped by
+  // round) — the round loop runs millions of times, so it must not
+  // allocate. Views are keyed by the handful of nodes active this round.
+  struct ViewSlot {
+    NodeId node = 0;
+    std::vector<RobotPublicState> snapshot;
+  };
+  std::vector<ViewSlot> view_pool_;
+  std::size_t views_used_ = 0;
+  std::vector<Action> decisions_;
+  std::vector<Round> decision_stamp_;
+  std::vector<Action> resolved_;
+  std::vector<Round> resolved_stamp_;
+  std::vector<std::uint8_t> resolve_mark_;
+  std::vector<NodeId> touched_nodes_;
+
+  [[nodiscard]] const std::vector<RobotPublicState>& view_for(NodeId node);
+  Action resolve_action(std::size_t slot, Round r);
+
+  void heap_push(Round round, std::size_t slot);
+  [[nodiscard]] bool heap_pop_next(Round& round);
+
+  void occupants_insert(NodeId node, std::size_t slot);
+  void occupants_erase(NodeId node, std::size_t slot);
+
+  [[nodiscard]] std::size_t index_of(RobotId id) const;
+  [[nodiscard]] bool all_colocated() const;
+
+  /// Execute one round; returns the number of robots that moved.
+  std::size_t simulate_round(Round r, std::vector<std::size_t>& active,
+                             RunResult& result);
+};
+
+}  // namespace gather::sim

@@ -1,0 +1,50 @@
+// Run metrics and results reported by the engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace gather::sim {
+
+struct RunMetrics {
+  /// Round counter at the end of the run (the paper's time complexity).
+  Round rounds = 0;
+  /// First round at whose END all robots were co-located (kNoRound if never).
+  Round first_gathered = kNoRound;
+  /// Round at which the first / last robot terminated (kNoRound if none).
+  Round first_termination = kNoRound;
+  Round last_termination = kNoRound;
+  /// Total edge traversals (the "cost" metric mentioned in related work).
+  std::uint64_t total_moves = 0;
+  std::vector<std::uint64_t> moves_per_robot;
+  /// Bits of co-located public state read at decision points — a proxy
+  /// for the F2F message complexity (the paper's closing future-work item
+  /// asks about restricted message sizes). Each received state counts as
+  /// bit_width(id) + bit_width(group_id) + 3 tag bits.
+  std::uint64_t total_message_bits = 0;
+  /// Engine efficiency counters (not part of the model).
+  std::uint64_t decision_calls = 0;
+  std::uint64_t simulated_rounds = 0;
+  /// FNV-1a hash over all (round, robot, from, to) move events and
+  /// termination events — identical across skip/naive modes and across
+  /// reruns; the determinism fingerprint.
+  std::uint64_t trace_hash = 1469598103934665603ULL;
+};
+
+struct RunResult {
+  bool all_terminated = false;
+  bool hit_round_cap = false;
+  /// All robots on one node at the end of the run.
+  bool gathered_at_end = false;
+  /// All robots terminated in the same round, on one node, and gathering
+  /// was complete at that moment — the falsifiable statement of
+  /// "gathering with detection".
+  bool detection_correct = false;
+  /// Adversary-view node where the run ended gathered (undefined if not).
+  NodeId gather_node = 0;
+  RunMetrics metrics;
+};
+
+}  // namespace gather::sim

@@ -1,0 +1,86 @@
+// Robot interface and the face-to-face communication view.
+//
+// Robots never see NodeIds or the Graph — only what the model grants
+// (§1.1): their own label and n, the degree of the current node, the entry
+// port of their last traversal, and the public states of co-located robots
+// (the message exchange of the Face-to-Face model). This boundary is what
+// makes the simulation a faithful execution of the paper's algorithms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/action.hpp"
+#include "sim/types.hpp"
+
+namespace gather::sim {
+
+/// Coarse role tags that co-located robots can read off each other.
+/// Covers all states used by §2.1, §2.2 and §2.3.
+enum class StateTag : std::uint8_t {
+  Init,        ///< before any role is assumed
+  Finder,      ///< §2.2: min-ID robot of a multi-robot start node
+  Helper,      ///< §2.2: non-minimum robot of a group / captured robot
+  Waiter,      ///< §2.2: robot alone at its start node
+  Leader,      ///< §2.1: robot not following anyone
+  Follower,    ///< §2.1: robot following a larger-ID robot
+  HopMeeting,  ///< §2.3: robot running i-Hop-Meeting
+  Terminated,  ///< set by the engine after a Terminate action
+};
+
+/// What a robot broadcasts to co-located robots. The algorithms exchange
+/// only O(log n)-bit facts: label, role, and group/leader identity.
+struct RobotPublicState {
+  RobotId id = 0;
+  StateTag tag = StateTag::Init;
+  /// §2.2 groupid (the pair identity used for capture priority), or the
+  /// §2.1 leader's label. 0 = the paper's "-1"/unset.
+  RobotId group_id = 0;
+};
+
+/// Everything a robot observes in one round before deciding its action.
+struct RoundView {
+  Round round = 0;
+  std::uint32_t degree = 0;  ///< degree of the current node
+  Port entry_port = kNoPort; ///< entry port of the last traversal (kNoPort if none yet)
+  /// Public states of ALL robots at this node (self included), sorted by id.
+  const std::vector<RobotPublicState>* colocated = nullptr;
+};
+
+/// Base class for robot algorithm implementations.
+///
+/// Contract: `on_round` must be a pure function of (internal state, view).
+/// If it returns Stay{until}, it must — given the same co-located set —
+/// keep returning Stay until round `until`. The engine exploits that
+/// promise to skip quiet rounds; `tests/engine_test.cpp` cross-checks
+/// skip vs naive execution.
+class Robot {
+ public:
+  explicit Robot(RobotId id) { public_state_.id = id; }
+  virtual ~Robot() = default;
+
+  Robot(const Robot&) = delete;
+  Robot& operator=(const Robot&) = delete;
+
+  /// Decide this round's action. May update the public state (visible to
+  /// co-located robots from the NEXT round on — decisions in a round are
+  /// simultaneous and based on the previous round's snapshots).
+  [[nodiscard]] virtual Action on_round(const RoundView& view) = 0;
+
+  [[nodiscard]] RobotId id() const noexcept { return public_state_.id; }
+  [[nodiscard]] const RobotPublicState& public_state() const noexcept {
+    return public_state_;
+  }
+
+  /// Engine hook: marks the robot terminated in its broadcast state.
+  void mark_terminated() noexcept { public_state_.tag = StateTag::Terminated; }
+
+ protected:
+  void set_tag(StateTag tag) noexcept { public_state_.tag = tag; }
+  void set_group_id(RobotId gid) noexcept { public_state_.group_id = gid; }
+
+ private:
+  RobotPublicState public_state_;
+};
+
+}  // namespace gather::sim

@@ -1,0 +1,23 @@
+// Shared type aliases for the synchronous mobile-robot simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace gather::sim {
+
+using NodeId = graph::NodeId;
+using Port = graph::Port;
+using graph::kNoPort;
+
+/// Robot label (unique identifier from [1, n^b] in the paper's model).
+using RobotId = std::uint64_t;
+
+/// Round counter. Schedules reach Õ(n^5) so 64 bits are required.
+using Round = std::uint64_t;
+
+/// Sentinel "never" round.
+inline constexpr Round kNoRound = static_cast<Round>(-1);
+
+}  // namespace gather::sim

@@ -1,0 +1,55 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6/I.8). Violations throw `gather::ContractViolation`
+// so tests can assert on them; they are never compiled out, because the
+// simulator's correctness claims (detection soundness, budget adherence)
+// are part of the library contract, not debug-only diagnostics.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gather {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a simulation exceeds its configured hard round cap or
+/// otherwise cannot make progress.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace gather
+
+#define GATHER_EXPECTS(cond)                                                  \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::gather::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                      __LINE__);                              \
+  } while (false)
+
+#define GATHER_ENSURES(cond)                                                  \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::gather::detail::contract_fail("postcondition", #cond, __FILE__,      \
+                                      __LINE__);                              \
+  } while (false)
+
+#define GATHER_INVARIANT(cond)                                                \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::gather::detail::contract_fail("invariant", #cond, __FILE__,          \
+                                      __LINE__);                              \
+  } while (false)

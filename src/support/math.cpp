@@ -1,0 +1,6 @@
+#include "support/math.hpp"
+
+// All functions are constexpr and header-defined; this translation unit
+// exists so the header has a home in the library and to host any future
+// non-inline additions.
+namespace gather::support {}

@@ -1,0 +1,38 @@
+// Thread-pool sweep executor for the benchmark and property-test harness.
+//
+// Every simulation run is an independent, deterministic, seeded task, so
+// parameter sweeps are embarrassingly parallel — the classic explicit-
+// parallelism pattern from the HPC guides (each worker owns its task;
+// results land in pre-sized slots, so no synchronization is needed beyond
+// the work-index counter). Results are identical to serial execution.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace gather::support {
+
+/// Number of workers to use by default: hardware concurrency, overridable
+/// with the GATHER_THREADS environment variable (0 or 1 = serial).
+[[nodiscard]] unsigned default_thread_count();
+
+/// Run fn(i) for i in [0, count) across `threads` workers. fn must be safe
+/// to call concurrently for distinct i. Exceptions are captured and the
+/// first one is rethrown after all workers join.
+void parallel_for_index(std::size_t count, unsigned threads,
+                        const std::function<void(std::size_t)>& fn);
+
+/// Convenience: map fn over [0, count) and collect results in order.
+template <typename Result>
+std::vector<Result> parallel_map_index(std::size_t count, unsigned threads,
+                                       const std::function<Result(std::size_t)>& fn) {
+  std::vector<Result> results(count);
+  parallel_for_index(count, threads, [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace gather::support

@@ -1,0 +1,75 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace gather::support {
+
+Summary summarize(const std::vector<double>& values) {
+  GATHER_EXPECTS(!values.empty());
+  Summary s;
+  s.count = values.size();
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (const double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (const double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  s.median = (sorted.size() % 2 == 1)
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+LinearFit linear_fit(const std::vector<double>& xs, const std::vector<double>& ys) {
+  GATHER_EXPECTS(xs.size() == ys.size());
+  GATHER_EXPECTS(xs.size() >= 2);
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  GATHER_EXPECTS(denom != 0.0);
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    ss_res += e * e;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+LinearFit loglog_fit(const std::vector<double>& xs, const std::vector<double>& ys) {
+  GATHER_EXPECTS(xs.size() == ys.size());
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    GATHER_EXPECTS(xs[i] > 0.0 && ys[i] > 0.0);
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+}  // namespace gather::support

@@ -1,0 +1,39 @@
+// Small statistics toolkit for the benchmark harness: summary statistics
+// and log-log growth-exponent fitting. The experiment tables report, for
+// each claimed bound O(n^p polylog n), the least-squares slope of
+// log(measured) versus log(n), which is how "the shape holds" is checked.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gather::support {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] Summary summarize(const std::vector<double>& values);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares y = slope * x + intercept.
+/// Requires xs.size() == ys.size() >= 2 and xs not all equal.
+[[nodiscard]] LinearFit linear_fit(const std::vector<double>& xs,
+                                   const std::vector<double>& ys);
+
+/// Fit log(y) = p * log(x) + c and return p — the empirical growth exponent
+/// of y as a function of x. Requires all inputs positive.
+[[nodiscard]] LinearFit loglog_fit(const std::vector<double>& xs,
+                                   const std::vector<double>& ys);
+
+}  // namespace gather::support

@@ -1,0 +1,36 @@
+// Monospace table printer for the experiment binaries. Produces the
+// aligned "rows the paper reports" style output used in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gather::support {
+
+/// A simple right-aligned text table. Columns are sized to fit content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  [[nodiscard]] static std::string num(std::uint64_t v);
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  /// Format with thousands separators, e.g. 1,234,567.
+  [[nodiscard]] static std::string grouped(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner (experiment title) to os.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace gather::support

@@ -1,0 +1,56 @@
+#include "uxs/coverage.hpp"
+
+namespace gather::uxs {
+
+namespace {
+
+/// Walk the sequence, invoking visit(node) on every visited node
+/// (including the start); returns the final node.
+template <typename Visit>
+graph::NodeId walk(const graph::Graph& g, const ExplorationSequence& seq,
+                   graph::NodeId start, std::uint64_t steps, Visit&& visit) {
+  graph::NodeId at = start;
+  Port entry = graph::kNoPort;
+  visit(at);
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    const std::uint32_t degree = g.degree(at);
+    if (degree == 0) break;  // single-node graph
+    const Port exit = next_port(entry, seq.offset(i), degree);
+    const graph::HalfEdge h = g.traverse(at, exit);
+    at = h.to;
+    entry = h.to_port;
+    visit(at);
+  }
+  return at;
+}
+
+}  // namespace
+
+bool explores_from(const graph::Graph& g, const ExplorationSequence& seq,
+                   graph::NodeId start) {
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::size_t count = 0;
+  walk(g, seq, start, seq.length(), [&](graph::NodeId v) {
+    if (!seen[v]) {
+      seen[v] = true;
+      ++count;
+    }
+  });
+  return count == g.num_nodes();
+}
+
+bool covers_all_starts(const graph::Graph& g, const ExplorationSequence& seq) {
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!explores_from(g, seq, v)) return false;
+  }
+  return true;
+}
+
+graph::NodeId walk_endpoint(const graph::Graph& g,
+                            const ExplorationSequence& seq,
+                            graph::NodeId start, std::uint64_t steps) {
+  GATHER_EXPECTS(steps <= seq.length());
+  return walk(g, seq, start, steps, [](graph::NodeId) {});
+}
+
+}  // namespace gather::uxs

@@ -1,0 +1,79 @@
+// Universal exploration sequences (UXS) — the black box the paper (and
+// Ta-Shma–Zwick [43]) builds on.
+//
+// Semantics (standard): a sequence of offsets o_0, o_1, ...; a robot that
+// entered its current node through port p_in (p_in = 0 conceptually at the
+// start) leaves through port (p_in + o_i) mod δ. A sequence is *universal*
+// for n if, started at any node of any connected n-node port-labeled
+// graph, the walk visits every node.
+//
+// Substitution (documented in DESIGN.md §3.1): explicit deterministic UXS
+// constructions are galactic; the paper treats the UXS as given, with
+// length T = Õ(n^5). We provide a fixed-seed pseudorandom sequence whose
+// seed depends only on n — every robot computes the identical sequence, so
+// determinism *inside the model* is preserved — plus a per-graph covering
+// oracle for fast tests, and a coverage validator that proves, for each
+// experiment graph, the property the §2.1 lemmas consume: the walk visits
+// all nodes from every start.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gather::uxs {
+
+using Port = graph::Port;
+
+/// Next exit port under UXS semantics. `entry_port` is kNoPort at the
+/// start of a walk. Requires degree >= 1.
+[[nodiscard]] Port next_port(Port entry_port, std::uint64_t offset,
+                             std::uint32_t degree);
+
+/// An exploration sequence: immutable offsets with a descriptive name.
+class ExplorationSequence {
+ public:
+  ExplorationSequence(std::string name, std::vector<std::uint32_t> offsets);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t length() const noexcept { return offsets_.size(); }
+  [[nodiscard]] std::uint32_t offset(std::uint64_t step) const {
+    GATHER_EXPECTS(step < offsets_.size());
+    return offsets_[step];
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::uint32_t> offsets_;
+};
+
+using SequencePtr = std::shared_ptr<const ExplorationSequence>;
+
+// ---- length policies ----------------------------------------------------
+
+/// The paper's bound: T = n^5 * ceil(log2 n) (at least 1).
+[[nodiscard]] std::uint64_t paper_length(std::size_t n);
+
+/// Practical scale for larger-n sweeps: c * n^3 * ceil(log2 n) — the
+/// random-walk cover-time regime. Documented deviation from the paper's
+/// worst-case T; shape experiments report which policy they used.
+[[nodiscard]] std::uint64_t practical_length(std::size_t n, std::uint64_t c = 4);
+
+// ---- constructions -------------------------------------------------------
+
+/// Fixed-seed pseudorandom sequence of the given length; the seed is a
+/// function of n only (all robots agree).
+[[nodiscard]] SequencePtr make_pseudorandom_sequence(std::size_t n,
+                                                     std::uint64_t length);
+
+/// Test substrate: the shortest pseudorandom prefix (grown in chunks) that
+/// covers `g` from every start node; validated before returning. This uses
+/// the actual graph and therefore lives outside the robot model — see
+/// DESIGN.md §3.1.
+[[nodiscard]] SequencePtr make_covering_sequence(const graph::Graph& g,
+                                                 std::uint64_t seed);
+
+}  // namespace gather::uxs

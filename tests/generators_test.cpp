@@ -1,0 +1,194 @@
+// Generator tests: every family must produce connected, validated,
+// port-labeled graphs with the expected sizes and degree structure.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace gather::graph {
+namespace {
+
+void expect_well_formed(const Graph& g) {
+  EXPECT_TRUE(validate(g));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Path) {
+  const Graph g = make_path(7);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(diameter(g), 6u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(3), 2u);
+}
+
+TEST(Generators, Ring) {
+  const Graph g = make_ring(9);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_edges(), 9u);
+  for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_EQ(diameter(g), 4u);
+}
+
+TEST(Generators, Complete) {
+  const Graph g = make_complete(6);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(diameter(g), 1u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Generators, Star) {
+  const Graph g = make_star(8);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_EQ(g.degree(0), 7u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Generators, Grid) {
+  const Graph g = make_grid(3, 5);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_nodes(), 15u);
+  EXPECT_EQ(g.num_edges(), 3u * 4 + 5u * 2);
+  EXPECT_EQ(diameter(g), 6u);
+  EXPECT_EQ(g.max_degree(), 4u);
+}
+
+TEST(Generators, Torus) {
+  const Graph g = make_torus(3, 4);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 24u);
+  for (NodeId v = 0; v < 12; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = make_hypercube(4);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  EXPECT_EQ(diameter(g), 4u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, CompleteBinaryTree) {
+  const Graph g = make_complete_binary_tree(15);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Generators, Lollipop) {
+  const Graph g = make_lollipop(11);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_nodes(), 11u);
+  // Clique of 6 plus a path of 5.
+  EXPECT_EQ(g.num_edges(), 15u + 5u);
+}
+
+TEST(Generators, Barbell) {
+  const Graph g = make_barbell(12);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_GE(diameter(g), 4u);
+}
+
+TEST(Generators, Caterpillar) {
+  const Graph g = make_caterpillar(4, 3);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_edges(), 15u);  // a tree
+}
+
+TEST(Generators, Wheel) {
+  const Graph g = make_wheel(9);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_nodes(), 9u);
+  EXPECT_EQ(g.num_edges(), 16u);  // 8 spokes + 8 rim edges
+  EXPECT_EQ(g.degree(0), 8u);     // hub
+  for (NodeId v = 1; v < 9; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = make_complete_bipartite(3, 4);
+  expect_well_formed(g);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 4u);
+  for (NodeId v = 3; v < 7; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Generators, CompleteBipartiteStarCase) {
+  const Graph g = make_complete_bipartite(1, 5);
+  expect_well_formed(g);
+  EXPECT_EQ(g.degree(0), 5u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 99ULL}) {
+    const Graph g = make_random_tree(20, seed);
+    expect_well_formed(g);
+    EXPECT_EQ(g.num_edges(), 19u);
+  }
+}
+
+TEST(Generators, RandomTreeDeterministic) {
+  const Graph a = make_random_tree(15, 7);
+  const Graph b = make_random_tree(15, 7);
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v));
+    for (Port p = 0; p < a.degree(v); ++p) {
+      EXPECT_EQ(a.traverse(v, p), b.traverse(v, p));
+    }
+  }
+}
+
+TEST(Generators, RandomConnectedSizes) {
+  for (std::size_t m : {14UL, 20UL, 40UL, 105UL}) {
+    const Graph g = make_random_connected(15, m, 5);
+    expect_well_formed(g);
+    EXPECT_EQ(g.num_nodes(), 15u);
+    EXPECT_EQ(g.num_edges(), m);
+  }
+}
+
+TEST(Generators, RandomConnectedRejectsBadM) {
+  EXPECT_THROW((void)make_random_connected(10, 8, 1), ContractViolation);
+  EXPECT_THROW((void)make_random_connected(10, 46, 1), ContractViolation);
+}
+
+TEST(Generators, RandomRegular) {
+  const Graph g = make_random_regular(12, 3, 11);
+  expect_well_formed(g);
+  for (NodeId v = 0; v < 12; ++v) EXPECT_EQ(g.degree(v), 3u);
+}
+
+TEST(Generators, ShufflePortsPreservesStructure) {
+  const Graph g = make_grid(3, 4);
+  const Graph s = shuffle_ports(g, 99);
+  EXPECT_TRUE(validate(s));
+  EXPECT_EQ(s.num_edges(), g.num_edges());
+  EXPECT_TRUE(is_connected(s));
+  // Node-wise degrees are unchanged (same underlying graph).
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_EQ(s.degree(v), g.degree(v));
+  // Distances are a port-independent invariant.
+  EXPECT_EQ(diameter(s), diameter(g));
+}
+
+TEST(Generators, StandardSuiteIsWellFormed) {
+  const auto suite = standard_test_suite(1234);
+  EXPECT_GE(suite.size(), 12u);
+  for (const auto& entry : suite) {
+    SCOPED_TRACE(entry.name);
+    expect_well_formed(entry.graph);
+    EXPECT_GE(entry.graph.num_nodes(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace gather::graph

@@ -1,0 +1,67 @@
+// Oracle-side graph algorithm tests (BFS, diameter, balls, pair distances).
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace gather::graph {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = make_path(6);
+  const auto d = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Bfs, DistancesOnRing) {
+  const Graph g = make_ring(8);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[4], 4u);
+  EXPECT_EQ(d[5], 3u);
+  EXPECT_EQ(d[7], 1u);
+}
+
+TEST(Bfs, AllPairsMatchesSingleSource) {
+  const Graph g = make_grid(3, 3);
+  const auto all = all_pairs_distances(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(all[v], bfs_distances(g, v));
+  }
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(make_path(10)), 9u);
+  EXPECT_EQ(diameter(make_ring(10)), 5u);
+  EXPECT_EQ(diameter(make_ring(11)), 5u);
+  EXPECT_EQ(diameter(make_complete(5)), 1u);
+  EXPECT_EQ(diameter(make_star(9)), 2u);
+  EXPECT_EQ(diameter(make_grid(4, 4)), 6u);
+  EXPECT_EQ(diameter(make_hypercube(5)), 5u);
+}
+
+TEST(MinPairwiseDistance, Basics) {
+  const Graph g = make_path(10);
+  EXPECT_EQ(min_pairwise_distance(g, {0, 9}), 9u);
+  EXPECT_EQ(min_pairwise_distance(g, {0, 5, 9}), 4u);
+  EXPECT_EQ(min_pairwise_distance(g, {3, 3}), 0u);  // co-located
+  EXPECT_EQ(min_pairwise_distance(g, {0, 4, 8, 9}), 1u);
+}
+
+TEST(Ball, RadiusZeroAndBeyond) {
+  const Graph g = make_ring(7);
+  EXPECT_EQ(ball(g, 0, 0).size(), 1u);
+  EXPECT_EQ(ball(g, 0, 1).size(), 3u);
+  EXPECT_EQ(ball(g, 0, 2).size(), 5u);
+  EXPECT_EQ(ball(g, 0, 10).size(), 7u);  // whole graph
+}
+
+TEST(Connectivity, SimpleCases) {
+  EXPECT_TRUE(is_connected(make_path(5)));
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  EXPECT_FALSE(is_connected(b.finish()));
+}
+
+}  // namespace
+}  // namespace gather::graph

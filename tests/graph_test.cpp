@@ -1,0 +1,106 @@
+// Unit tests for the port-labeled graph substrate (model §1.1).
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "support/assert.hpp"
+
+namespace gather::graph {
+namespace {
+
+TEST(GraphBuilder, AssignsContiguousPorts) {
+  GraphBuilder b(3);
+  const auto [p01u, p01v] = b.add_edge(0, 1);
+  EXPECT_EQ(p01u, 0u);
+  EXPECT_EQ(p01v, 0u);
+  const auto [p02u, p02v] = b.add_edge(0, 2);
+  EXPECT_EQ(p02u, 1u);  // node 0's second edge gets port 1
+  EXPECT_EQ(p02v, 0u);
+  const Graph g = b.finish();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(1, 1), ContractViolation);
+}
+
+TEST(GraphBuilder, RejectsParallelEdge) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  EXPECT_THROW(b.add_edge(0, 1), ContractViolation);
+  EXPECT_THROW(b.add_edge(1, 0), ContractViolation);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeNode) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), ContractViolation);
+}
+
+TEST(Graph, TraverseIsSymmetric) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  const Graph g = b.finish();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const HalfEdge h = g.traverse(v, p);
+      const HalfEdge back = g.traverse(h.to, h.to_port);
+      EXPECT_EQ(back.to, v);
+      EXPECT_EQ(back.to_port, p);
+    }
+  }
+}
+
+TEST(Graph, TraverseChecksPortRange) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph g = b.finish();
+  EXPECT_THROW((void)g.traverse(0, 1), ContractViolation);
+  EXPECT_THROW((void)g.traverse(2, 0), ContractViolation);
+}
+
+TEST(Graph, MaxDegree) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const Graph g = b.finish();
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, SingleNodeGraph) {
+  const Graph g = GraphBuilder(1).finish();
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(validate(g));
+}
+
+TEST(Graph, FromAdjacencyValidates) {
+  // Asymmetric ports: (0,0)->(1,0) but (1,0)->(0,1) is broken.
+  std::vector<std::vector<HalfEdge>> bad(2);
+  bad[0] = {HalfEdge{1, 0}};
+  bad[1] = {HalfEdge{0, 1}};
+  EXPECT_THROW((void)Graph::from_adjacency(std::move(bad)), ContractViolation);
+
+  std::vector<std::vector<HalfEdge>> good(2);
+  good[0] = {HalfEdge{1, 0}};
+  good[1] = {HalfEdge{0, 0}};
+  const Graph g = Graph::from_adjacency(std::move(good));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, FromAdjacencyRejectsOddDegreeSum) {
+  std::vector<std::vector<HalfEdge>> bad(2);
+  bad[0] = {HalfEdge{1, 0}};
+  bad[1] = {};
+  EXPECT_THROW((void)Graph::from_adjacency(std::move(bad)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gather::graph

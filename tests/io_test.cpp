@@ -1,0 +1,127 @@
+// Graph serialization tests: edge-list parsing (auto + explicit ports),
+// round-tripping, error reporting, and DOT export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/isomorphism.hpp"
+#include "graph/placement.hpp"
+
+namespace gather::graph {
+namespace {
+
+TEST(Io, ParsesAutoPortEdgeList) {
+  std::istringstream in(
+      "# a triangle\n"
+      "nodes 3\n"
+      "edge 0 1\n"
+      "edge 1 2\n"
+      "edge 2 0\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(validate(g));
+}
+
+TEST(Io, ParsesExplicitPorts) {
+  std::istringstream in(
+      "nodes 2\n"
+      "edge 0 0 1 0\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.traverse(0, 0), (HalfEdge{1, 0}));
+}
+
+TEST(Io, RoundTripsEveryFamily) {
+  for (const auto& entry : standard_test_suite(3)) {
+    SCOPED_TRACE(entry.name);
+    std::ostringstream out;
+    write_edge_list(out, entry.graph);
+    std::istringstream in(out.str());
+    const Graph parsed = read_edge_list(in);
+    // Explicit-port serialization preserves the exact labeling.
+    ASSERT_EQ(parsed.num_nodes(), entry.graph.num_nodes());
+    for (NodeId v = 0; v < parsed.num_nodes(); ++v) {
+      ASSERT_EQ(parsed.degree(v), entry.graph.degree(v));
+      for (Port p = 0; p < parsed.degree(v); ++p) {
+        EXPECT_EQ(parsed.traverse(v, p), entry.graph.traverse(v, p));
+      }
+    }
+  }
+}
+
+TEST(Io, ReportsLineNumbers) {
+  std::istringstream in(
+      "nodes 2\n"
+      "edge 0 5\n");
+  try {
+    (void)read_edge_list(in);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Io, RejectsMixedPortModes) {
+  std::istringstream in(
+      "nodes 3\n"
+      "edge 0 1\n"
+      "edge 1 0 2 0\n");
+  EXPECT_THROW((void)read_edge_list(in), IoError);
+}
+
+TEST(Io, RejectsMissingNodes) {
+  std::istringstream in("edge 0 1\n");
+  EXPECT_THROW((void)read_edge_list(in), IoError);
+}
+
+TEST(Io, RejectsDuplicatePortAssignment) {
+  std::istringstream in(
+      "nodes 3\n"
+      "edge 0 0 1 0\n"
+      "edge 0 0 2 0\n");
+  EXPECT_THROW((void)read_edge_list(in), IoError);
+}
+
+TEST(Io, RejectsGappyPorts) {
+  std::istringstream in(
+      "nodes 2\n"
+      "edge 0 1 1 0\n");  // node 0's port 0 never assigned
+  EXPECT_THROW((void)read_edge_list(in), IoError);
+}
+
+TEST(Io, RejectsSelfLoop) {
+  std::istringstream in(
+      "nodes 2\n"
+      "edge 1 1\n");
+  EXPECT_THROW((void)read_edge_list(in), IoError);
+}
+
+TEST(Io, RejectsBadKeyword) {
+  std::istringstream in("vertices 3\n");
+  EXPECT_THROW((void)read_edge_list(in), IoError);
+}
+
+TEST(Io, MissingFileReported) {
+  EXPECT_THROW((void)read_edge_list_file("/nonexistent/x.graph"), IoError);
+}
+
+TEST(Io, DotExportMentionsNodesAndMarks) {
+  const Graph g = make_path(3);
+  Placement placement;
+  placement.push_back({0, 1});
+  placement.push_back({0, 2});
+  const NodeId gather_node = 2;
+  std::ostringstream out;
+  write_dot(out, g, &placement, &gather_node);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("graph G"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("2R"), std::string::npos);      // robot count label
+  EXPECT_NE(dot.find("gold"), std::string::npos);    // gather highlight
+  EXPECT_NE(dot.find("taillabel"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gather::graph

@@ -1,0 +1,82 @@
+// Port-preserving isomorphism oracle tests (the map-correctness check).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+#include "support/rng.hpp"
+
+namespace gather::graph {
+namespace {
+
+/// Relabel nodes by a random permutation, keeping each node's port
+/// structure intact — the canonical "isomorphic copy".
+Graph permute_nodes(const Graph& g, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<NodeId> image(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) image[v] = v;
+  rng.shuffle(image);
+  std::vector<std::vector<HalfEdge>> adj(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    adj[image[v]].resize(g.degree(v));
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const HalfEdge h = g.traverse(v, p);
+      adj[image[v]][p] = HalfEdge{image[h.to], h.to_port};
+    }
+  }
+  return Graph::from_adjacency(std::move(adj));
+}
+
+TEST(PortIsomorphism, IdenticalGraphs) {
+  const Graph g = make_grid(3, 3);
+  EXPECT_TRUE(port_isomorphic(g, g));
+  const auto mapping = port_isomorphism_rooted(g, 0, g, 0);
+  ASSERT_TRUE(mapping.has_value());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ((*mapping)[v], v);
+}
+
+TEST(PortIsomorphism, NodeRelabelingIsIsomorphic) {
+  for (std::uint64_t seed : {1ULL, 5ULL, 9ULL}) {
+    const Graph g = make_random_connected(12, 20, seed);
+    const Graph h = permute_nodes(g, seed + 100);
+    EXPECT_TRUE(port_isomorphic(g, h));
+  }
+}
+
+TEST(PortIsomorphism, DifferentFamiliesAreNot) {
+  EXPECT_FALSE(port_isomorphic(make_ring(8), make_path(8)));
+  EXPECT_FALSE(port_isomorphic(make_star(8), make_path(8)));
+  EXPECT_FALSE(port_isomorphic(make_ring(8), make_ring(9)));
+}
+
+TEST(PortIsomorphism, PortShuffleUsuallyBreaksPortIso) {
+  // Port-preserving isomorphism is stricter than graph isomorphism: the
+  // same grid with permuted port numbers is generally NOT port-isomorphic.
+  const Graph g = make_grid(3, 4);
+  const Graph s = shuffle_ports(g, 7);
+  // (The permutation could coincidentally be trivial; seed 7 is not.)
+  EXPECT_FALSE(port_isomorphic(g, s));
+}
+
+TEST(PortIsomorphism, RingIsVertexTransitive) {
+  // make_ring assigns every node port 0 = next, port 1 = previous (except
+  // node 0's wrap) — rotations map it onto itself from several roots.
+  const Graph g = make_ring(6);
+  int roots_that_work = 0;
+  for (NodeId r = 0; r < 6; ++r) {
+    if (port_isomorphism_rooted(g, 0, g, r).has_value()) ++roots_that_work;
+  }
+  EXPECT_GE(roots_that_work, 1);
+}
+
+TEST(PortIsomorphism, RootedMismatchDetectsDegree) {
+  const Graph g = make_star(5);
+  // Mapping the hub to a leaf must fail.
+  EXPECT_FALSE(port_isomorphism_rooted(g, 0, g, 1).has_value());
+}
+
+TEST(PortIsomorphism, EdgeCountShortCircuit) {
+  EXPECT_FALSE(port_isomorphic(make_complete(5), make_ring(5)));
+}
+
+}  // namespace
+}  // namespace gather::graph

@@ -1,0 +1,87 @@
+// Lemma 15 property tests: ⌊n/c⌋ + 1 robots on any n-node connected graph
+// always contain a pair within hop distance 2c - 2 — even under the
+// adversarial max-min-distance placement.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/placement.hpp"
+
+namespace gather::graph {
+namespace {
+
+class Lemma15
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::uint64_t>> {};
+
+TEST_P(Lemma15, AdversarialPlacementRespectsBound) {
+  const auto [c, seed] = GetParam();
+  for (const auto& entry : standard_test_suite(seed)) {
+    const Graph& g = entry.graph;
+    const std::size_t n = g.num_nodes();
+    const std::size_t k = n / c + 1;
+    if (k < 2 || k > n) continue;
+    SCOPED_TRACE(entry.name + " c=" + std::to_string(c));
+    const auto nodes = nodes_adversarial_spread(g, k, seed);
+    EXPECT_LE(min_pairwise_distance(g, nodes), 2 * c - 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CAndSeed, Lemma15,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u, 5u),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{5},
+                                         std::uint64_t{13})));
+
+TEST(Lemma15, ExhaustivePlacementsOnSmallPath) {
+  // Brute-force ALL dispersed placements of k = floor(n/2)+1 robots on a
+  // small path — the bound 2c-2 = 2 must hold for every one of them.
+  const Graph g = make_path(7);
+  const std::size_t k = 7 / 2 + 1;  // 4 robots, c = 2
+  std::vector<NodeId> pick(k);
+  std::function<void(std::size_t, NodeId)> recurse =
+      [&](std::size_t depth, NodeId from) {
+        if (depth == k) {
+          EXPECT_LE(min_pairwise_distance(g, pick), 2u);
+          return;
+        }
+        for (NodeId v = from; v < g.num_nodes(); ++v) {
+          pick[depth] = v;
+          recurse(depth + 1, v + 1);
+        }
+      };
+  recurse(0, 0);
+}
+
+TEST(Lemma15, TightOnThePath) {
+  // On a path of n = 2c(k-1)+1 nodes, k robots can sit exactly 2c-2+...
+  // spacing apart; verify the bound is achievable (not slack) for c=2:
+  // floor(n/2)+1 robots on a path can realize min distance exactly 2.
+  const Graph g = make_path(9);
+  const std::vector<NodeId> every_other{0, 2, 4, 6, 8};  // k = 5 = 9/2 + 1
+  EXPECT_EQ(min_pairwise_distance(g, every_other), 2u);
+}
+
+TEST(Lemma15, MoreRobotsShrinkTheGuarantee) {
+  // The c=2 guarantee (distance <= 2) is stronger than c=3's (<= 4):
+  // verify monotonicity of the adversarial optimum in k on a ring.
+  const Graph g = make_ring(30);
+  const auto k2 = nodes_adversarial_spread(g, 30 / 2 + 1, 3);
+  const auto k3 = nodes_adversarial_spread(g, 30 / 3 + 1, 3);
+  const auto k5 = nodes_adversarial_spread(g, 30 / 5 + 1, 3);
+  EXPECT_LE(min_pairwise_distance(g, k2), 2u);
+  EXPECT_LE(min_pairwise_distance(g, k3), 4u);
+  EXPECT_LE(min_pairwise_distance(g, k5), 8u);
+  EXPECT_LE(min_pairwise_distance(g, k2), min_pairwise_distance(g, k3));
+}
+
+TEST(Lemma15, PigeonholeWhenKExceedsN) {
+  // k > n: some node holds two robots — distance 0 (the undispersed case).
+  const Graph g = make_grid(2, 3);
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < 7; ++i)
+    nodes.push_back(static_cast<NodeId>(i % 6));
+  EXPECT_EQ(min_pairwise_distance(g, nodes), 0u);
+}
+
+}  // namespace
+}  // namespace gather::graph

@@ -1,0 +1,140 @@
+// MapGraph tests: the finder's partial-map bookkeeping, navigation over
+// resolved edges, closed tours, and export for the isomorphism oracle.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/map_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+
+namespace gather::core {
+namespace {
+
+TEST(MapGraph, StartsWithRootOnly) {
+  MapGraph map(3);
+  EXPECT_EQ(map.num_nodes(), 1u);
+  EXPECT_EQ(map.degree(map.root()), 3u);
+  EXPECT_FALSE(map.complete());
+  EXPECT_FALSE(map.is_resolved(0, 0));
+}
+
+TEST(MapGraph, ResolveSetsBothSides) {
+  MapGraph map(2);
+  const auto fresh = map.add_node(1);
+  map.resolve(map.root(), 0, fresh, 0);
+  EXPECT_TRUE(map.is_resolved(0, 0));
+  EXPECT_TRUE(map.is_resolved(fresh, 0));
+  const auto [to, port] = map.endpoint(map.root(), 0);
+  EXPECT_EQ(to, fresh);
+  EXPECT_EQ(port, 0u);
+}
+
+TEST(MapGraph, DoubleResolveRejected) {
+  MapGraph map(2);
+  const auto fresh = map.add_node(2);
+  map.resolve(0, 0, fresh, 0);
+  EXPECT_THROW(map.resolve(0, 0, fresh, 1), ContractViolation);
+}
+
+TEST(MapGraph, CompleteAfterAllPortsResolved) {
+  // Two nodes joined by one edge, each degree 1.
+  MapGraph map(1);
+  const auto fresh = map.add_node(1);
+  EXPECT_FALSE(map.complete());
+  map.resolve(0, 0, fresh, 0);
+  EXPECT_TRUE(map.complete());
+}
+
+TEST(MapGraph, PathPortsNavigatesResolvedSubgraph) {
+  // Build a path 0-1-2 in map space.
+  MapGraph map(1);
+  const auto a = map.add_node(2);
+  map.resolve(0, 0, a, 0);
+  const auto b = map.add_node(1);
+  map.resolve(a, 1, b, 0);
+  const auto route = map.path_ports(0, b);
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(route[0], 0u);
+  EXPECT_EQ(route[1], 1u);
+  EXPECT_TRUE(map.path_ports(b, b).empty());
+}
+
+TEST(MapGraph, ClosedTourVisitsAllAndCloses) {
+  // Star with 3 leaves in map space.
+  MapGraph map(3);
+  for (sim::Port p = 0; p < 3; ++p) {
+    const auto leaf = map.add_node(1);
+    map.resolve(0, p, leaf, 0);
+  }
+  const auto tour = map.closed_tour(0);
+  EXPECT_EQ(tour.size(), 6u);
+  std::set<MapGraph::MapNode> seen{0};
+  MapGraph::MapNode at = 0;
+  for (const auto& step : tour) {
+    at = map.endpoint(at, step.port).first;
+    EXPECT_EQ(at, step.arrives_at);
+    seen.insert(at);
+  }
+  EXPECT_EQ(at, 0u);
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(MapGraph, ClosedTourFromNonRoot) {
+  MapGraph map(2);
+  const auto a = map.add_node(2);
+  map.resolve(0, 0, a, 0);
+  const auto b = map.add_node(2);
+  map.resolve(a, 1, b, 0);
+  const auto tour = map.closed_tour(a);
+  EXPECT_EQ(tour.size(), 4u);
+  EXPECT_EQ(tour.back().arrives_at, a);
+}
+
+TEST(MapGraph, SingleNodeTourIsEmpty) {
+  MapGraph map(0);
+  EXPECT_TRUE(map.closed_tour(0).empty());
+  EXPECT_TRUE(map.complete());
+}
+
+TEST(MapGraph, ToGraphRoundTripsRing) {
+  // Encode a 4-ring: each node degree 2, port 1 -> next's port 0.
+  MapGraph map(2);
+  MapGraph::MapNode prev = 0;
+  std::vector<MapGraph::MapNode> nodes{0};
+  for (int i = 0; i < 3; ++i) {
+    const auto fresh = map.add_node(2);
+    map.resolve(prev, 1, fresh, 0);
+    nodes.push_back(fresh);
+    prev = fresh;
+  }
+  map.resolve(prev, 1, 0, 0);
+  ASSERT_TRUE(map.complete());
+  const graph::Graph exported = map.to_graph();
+  EXPECT_EQ(exported.num_nodes(), 4u);
+  EXPECT_EQ(exported.num_edges(), 4u);
+  EXPECT_TRUE(graph::validate(exported));
+  // Ring with uniform prev/next ports IS port-isomorphic to itself rooted
+  // anywhere; sanity: it is a connected 2-regular graph on 4 nodes.
+  for (graph::NodeId v = 0; v < 4; ++v) EXPECT_EQ(exported.degree(v), 2u);
+}
+
+TEST(MapGraph, MemoryBitsGrowWithEdges) {
+  MapGraph small(1);
+  const auto leaf = small.add_node(1);
+  small.resolve(0, 0, leaf, 0);
+  MapGraph big(3);
+  for (sim::Port p = 0; p < 3; ++p) {
+    const auto fresh = big.add_node(1);
+    big.resolve(0, p, fresh, 0);
+  }
+  EXPECT_GT(big.memory_bits(), small.memory_bits());
+}
+
+TEST(MapGraph, EndpointRequiresResolved) {
+  MapGraph map(2);
+  EXPECT_THROW((void)map.endpoint(0, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gather::core

@@ -1,0 +1,113 @@
+// Placement and label-assignment strategy tests (the theorem workloads).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/placement.hpp"
+#include "support/bitstring.hpp"
+
+namespace gather::graph {
+namespace {
+
+TEST(Placement, AllOnOne) {
+  const Graph g = make_ring(10);
+  const auto nodes = nodes_all_on_one(g, 5, 3);
+  ASSERT_EQ(nodes.size(), 5u);
+  for (const NodeId v : nodes) EXPECT_EQ(v, nodes[0]);
+}
+
+TEST(Placement, UndispersedHasMultiOccupiedNode) {
+  const Graph g = make_grid(4, 4);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto nodes = nodes_undispersed_random(g, 5, seed);
+    const auto p = make_placement(nodes, labels_sequential(5));
+    EXPECT_TRUE(is_undispersed(p));
+  }
+}
+
+TEST(Placement, DispersedAllDistinct) {
+  const Graph g = make_grid(4, 4);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto nodes = nodes_dispersed_random(g, 9, seed);
+    std::set<NodeId> unique(nodes.begin(), nodes.end());
+    EXPECT_EQ(unique.size(), nodes.size());
+    const auto p = make_placement(nodes, labels_sequential(9));
+    EXPECT_FALSE(is_undispersed(p));
+  }
+}
+
+TEST(Placement, AdversarialSpreadBeatsRandomTypically) {
+  const Graph g = make_ring(24);
+  const auto adversarial = nodes_adversarial_spread(g, 4, 1);
+  const auto spread = min_pairwise_distance(g, adversarial);
+  // 4 robots on a 24-ring can be pairwise 6 apart; greedy achieves >= 4.
+  EXPECT_GE(spread, 4u);
+}
+
+TEST(Placement, AdversarialSpreadDistinctNodes) {
+  const Graph g = make_grid(5, 5);
+  const auto nodes = nodes_adversarial_spread(g, 10, 5);
+  std::set<NodeId> unique(nodes.begin(), nodes.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Placement, PairAtDistanceExact) {
+  const Graph g = make_path(12);
+  for (std::uint32_t d = 1; d <= 5; ++d) {
+    const auto nodes = nodes_pair_at_distance(g, 3, d, 17);
+    const auto dist = bfs_distances(g, nodes[0]);
+    EXPECT_EQ(dist[nodes[1]], d);
+  }
+}
+
+TEST(Placement, PairAtDistanceRejectsImpossible) {
+  const Graph g = make_complete(5);  // diameter 1
+  EXPECT_THROW((void)nodes_pair_at_distance(g, 2, 3, 1), ContractViolation);
+}
+
+TEST(Placement, Clustered) {
+  const Graph g = make_grid(4, 4);
+  const auto nodes = nodes_clustered(g, 9, 3, 2);
+  std::set<NodeId> unique(nodes.begin(), nodes.end());
+  EXPECT_EQ(unique.size(), 3u);  // exactly three distinct cluster centers
+}
+
+TEST(Labels, SequentialAreOneToK) {
+  const auto labels = labels_sequential(5);
+  ASSERT_EQ(labels.size(), 5u);
+  EXPECT_EQ(labels.front(), 1u);
+  EXPECT_EQ(labels.back(), 5u);
+}
+
+TEST(Labels, RandomDistinctRespectRange) {
+  const auto labels = labels_random_distinct(10, 8, 2, 3);  // range [1, 64]
+  std::set<RobotLabel> unique(labels.begin(), labels.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (const RobotLabel l : labels) {
+    EXPECT_GE(l, 1u);
+    EXPECT_LE(l, 64u);
+  }
+}
+
+TEST(Labels, EqualLengthAllSameBitLength) {
+  const auto labels = labels_equal_length(6, 10, 2);  // range [1, 100]
+  const unsigned len = support::label_bit_length(labels[0]);
+  for (const RobotLabel l : labels) {
+    EXPECT_EQ(support::label_bit_length(l), len);
+    EXPECT_LE(l, 100u);
+  }
+}
+
+TEST(Placement, MakePlacementRejectsDuplicateLabels) {
+  const std::vector<NodeId> nodes{0, 1};
+  EXPECT_THROW((void)make_placement(nodes, {3, 3}), ContractViolation);
+}
+
+TEST(Placement, MakePlacementRejectsArityMismatch) {
+  EXPECT_THROW((void)make_placement({0, 1}, {1}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gather::graph

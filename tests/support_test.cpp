@@ -1,0 +1,250 @@
+// Unit tests for src/support: RNG determinism, bit utilities, saturating
+// math, statistics, tables, CSV, and the parallel sweep executor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/bitstring.hpp"
+#include "support/csv.hpp"
+#include "support/math.hpp"
+#include "support/parallel_for.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace gather::support {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= (a.next() != b.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values appear in 500 draws
+}
+
+TEST(Rng, Uniform01InRange) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Xoshiro256 rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, HashCombineOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+}
+
+TEST(Math, SatAddSaturates) {
+  EXPECT_EQ(sat_add(kU64Max, 1), kU64Max);
+  EXPECT_EQ(sat_add(kU64Max - 1, 1), kU64Max);
+  EXPECT_EQ(sat_add(2, 3), 5u);
+}
+
+TEST(Math, SatMulSaturates) {
+  EXPECT_EQ(sat_mul(kU64Max, 2), kU64Max);
+  EXPECT_EQ(sat_mul(1ULL << 40, 1ULL << 40), kU64Max);
+  EXPECT_EQ(sat_mul(6, 7), 42u);
+  EXPECT_EQ(sat_mul(0, kU64Max), 0u);
+}
+
+TEST(Math, SatPow) {
+  EXPECT_EQ(sat_pow(2, 10), 1024u);
+  EXPECT_EQ(sat_pow(10, 0), 1u);
+  EXPECT_EQ(sat_pow(2, 64), kU64Max);
+  EXPECT_EQ(sat_pow(0, 3), 0u);
+}
+
+TEST(Math, BitWidth) {
+  EXPECT_EQ(bit_width_u64(0), 0u);
+  EXPECT_EQ(bit_width_u64(1), 1u);
+  EXPECT_EQ(bit_width_u64(2), 2u);
+  EXPECT_EQ(bit_width_u64(255), 8u);
+  EXPECT_EQ(bit_width_u64(256), 9u);
+}
+
+TEST(Math, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+}
+
+TEST(Bitstring, Length) {
+  EXPECT_EQ(label_bit_length(1), 1u);
+  EXPECT_EQ(label_bit_length(2), 2u);
+  EXPECT_EQ(label_bit_length(3), 2u);
+  EXPECT_EQ(label_bit_length(8), 4u);
+}
+
+TEST(Bitstring, LsbFirstBits) {
+  // 6 = 110b -> LSB first: 0, 1, 1, then padding zeros.
+  EXPECT_FALSE(label_bit_lsb_first(6, 0));
+  EXPECT_TRUE(label_bit_lsb_first(6, 1));
+  EXPECT_TRUE(label_bit_lsb_first(6, 2));
+  EXPECT_FALSE(label_bit_lsb_first(6, 3));
+  EXPECT_FALSE(label_bit_lsb_first(6, 63));
+  EXPECT_FALSE(label_bit_lsb_first(6, 200));
+}
+
+TEST(Bitstring, VectorAndString) {
+  const auto bits = label_bits_lsb_first(6);
+  ASSERT_EQ(bits.size(), 3u);
+  EXPECT_FALSE(bits[0]);
+  EXPECT_TRUE(bits[1]);
+  EXPECT_TRUE(bits[2]);
+  EXPECT_EQ(label_binary_string(6), "110");
+  EXPECT_EQ(label_binary_string(1), "1");
+}
+
+TEST(Stats, Summarize) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(Stats, LinearFitExact) {
+  const auto fit = linear_fit({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Stats, LogLogRecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {8.0, 16.0, 32.0, 64.0}) {
+    xs.push_back(x);
+    ys.push_back(5.0 * x * x * x);  // cubic
+  }
+  const auto fit = loglog_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+}
+
+TEST(Stats, RejectsDegenerateInput) {
+  EXPECT_THROW((void)summarize({}), ContractViolation);
+  EXPECT_THROW((void)linear_fit({1}, {1}), ContractViolation);
+  EXPECT_THROW((void)loglog_fit({1, -2}, {1, 2}), ContractViolation);
+}
+
+TEST(Table, FormatsAlignedRows) {
+  TextTable t({"n", "rounds"});
+  t.add_row({"8", "2216"});
+  t.add_row({"16", "17000"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("rounds"), std::string::npos);
+  EXPECT_NE(out.find("17000"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(Table, GroupedThousands) {
+  EXPECT_EQ(TextTable::grouped(1234567), "1,234,567");
+  EXPECT_EQ(TextTable::grouped(999), "999");
+  EXPECT_EQ(TextTable::grouped(0), "0");
+}
+
+TEST(Table, RowArityChecked) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Csv, WritesEscapedCells) {
+  const std::string path = testing::TempDir() + "/gather_csv_test.csv";
+  {
+    CsvWriter w(path, {"name", "value"});
+    ASSERT_TRUE(w.ok());
+    w.add_row({"plain", "1"});
+    w.add_row({"with,comma", "2"});
+    w.add_row({"with\"quote", "3"});
+  }
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(all.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(ParallelFor, VisitsAllIndicesOnce) {
+  std::vector<std::atomic<int>> counts(1000);
+  parallel_for_index(1000, 8, [&](std::size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelFor, SerialFallback) {
+  std::vector<int> counts(64, 0);
+  parallel_for_index(64, 1, [&](std::size_t i) { counts[i]++; });
+  for (const int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for_index(100, 4,
+                         [](std::size_t i) {
+                           if (i == 37) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, MapCollectsInOrder) {
+  const auto out = parallel_map_index<std::size_t>(
+      50, 4, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 50u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+}  // namespace
+}  // namespace gather::support

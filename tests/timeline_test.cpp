@@ -1,0 +1,106 @@
+// Timeline tests: stage-bucketed trace analysis.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/run.hpp"
+#include "core/timeline.hpp"
+#include "graph/generators.hpp"
+#include "graph/placement.hpp"
+#include "uxs/uxs.hpp"
+
+namespace gather::core {
+namespace {
+
+RunOutcome traced_run(const graph::Graph& g, const graph::Placement& placement) {
+  RunSpec spec;
+  spec.algorithm = AlgorithmKind::FasterGathering;
+  spec.config = make_config(g, uxs::make_covering_sequence(g, 3));
+  spec.record_trace = true;
+  return run_gathering(g, placement, spec);
+}
+
+TEST(Timeline, TotalsMatchEngineMetrics) {
+  const graph::Graph g = graph::make_ring(8);
+  const auto nodes = graph::nodes_undispersed_random(g, 3, 5);
+  const auto placement =
+      graph::make_placement(nodes, graph::labels_sequential(3));
+  const RunOutcome out = traced_run(g, placement);
+  ASSERT_TRUE(out.schedule.has_value());
+  const Timeline timeline = Timeline::from_trace(out.trace, *out.schedule);
+  EXPECT_EQ(timeline.total_moves(), out.result.metrics.total_moves);
+}
+
+TEST(Timeline, UndispersedRunActiveOnlyInStageZero) {
+  const graph::Graph g = graph::make_ring(8);
+  const auto nodes = graph::nodes_undispersed_random(g, 3, 5);
+  const auto placement =
+      graph::make_placement(nodes, graph::labels_sequential(3));
+  const RunOutcome out = traced_run(g, placement);
+  const Timeline timeline = Timeline::from_trace(out.trace, *out.schedule);
+  EXPECT_EQ(timeline.first_active_stage(), 0);
+  for (std::size_t i = 1; i < timeline.stages().size(); ++i) {
+    EXPECT_EQ(timeline.stages()[i].moves, 0u) << "stage " << i;
+  }
+}
+
+TEST(Timeline, PlantedDistanceShowsLadderActivity) {
+  const graph::Graph g = graph::make_path(12);
+  const auto nodes = graph::nodes_pair_at_distance(g, 2, 3, 7);
+  const auto placement =
+      graph::make_placement(nodes, graph::labels_sequential(2));
+  const RunOutcome out = traced_run(g, placement);
+  ASSERT_TRUE(out.result.detection_correct);
+  const Timeline timeline = Timeline::from_trace(out.trace, *out.schedule);
+  // Stage 0 (undispersed) is silent on a dispersed start; hop stages
+  // 1..3 walk; the run resolves in stage 3.
+  EXPECT_EQ(timeline.stages()[0].moves, 0u);
+  EXPECT_GT(timeline.stages()[1].moves, 0u);
+  EXPECT_GT(timeline.stages()[3].moves, 0u);
+  EXPECT_EQ(timeline.first_active_stage(), 1);
+  // Stages after the gathering stage stay silent.
+  for (std::size_t i = 4; i < timeline.stages().size(); ++i) {
+    EXPECT_EQ(timeline.stages()[i].moves, 0u) << "stage " << i;
+  }
+}
+
+TEST(Timeline, TracksPerRobotMoves) {
+  const graph::Graph g = graph::make_ring(6);
+  const auto nodes = graph::nodes_undispersed_random(g, 2, 3);
+  const auto placement =
+      graph::make_placement(nodes, graph::labels_sequential(2));
+  const RunOutcome out = traced_run(g, placement);
+  const Timeline timeline = Timeline::from_trace(out.trace, *out.schedule);
+  const auto& stage0 = timeline.stages()[0];
+  std::uint64_t sum = 0;
+  for (const auto& [robot, moves] : stage0.moves_by_robot) sum += moves;
+  EXPECT_EQ(sum, stage0.moves);
+  // The finder (label 1) does the mapping work; the helper follows it.
+  EXPECT_GT(stage0.moves_by_robot.at(1), 0u);
+}
+
+TEST(Timeline, PrintRendersStages) {
+  const graph::Graph g = graph::make_ring(6);
+  const auto nodes = graph::nodes_undispersed_random(g, 2, 3);
+  const auto placement =
+      graph::make_placement(nodes, graph::labels_sequential(2));
+  const RunOutcome out = traced_run(g, placement);
+  const Timeline timeline = Timeline::from_trace(out.trace, *out.schedule);
+  std::ostringstream os;
+  timeline.print(os);
+  EXPECT_NE(os.str().find("undispersed"), std::string::npos);
+  EXPECT_NE(os.str().find("uxs-catchall"), std::string::npos);
+}
+
+TEST(Timeline, EmptyTraceHasNoActiveStage) {
+  AlgorithmConfig config;
+  config.n = 5;
+  config.sequence = uxs::make_pseudorandom_sequence(5, 16);
+  const Schedule sched = Schedule::make(config);
+  const Timeline timeline = Timeline::from_trace({}, sched);
+  EXPECT_EQ(timeline.first_active_stage(), -1);
+  EXPECT_EQ(timeline.total_moves(), 0u);
+}
+
+}  // namespace
+}  // namespace gather::core

@@ -1,0 +1,127 @@
+// TokenMapper tests: drive the Phase-1 map construction against real
+// graphs with a simulated token and verify that (a) the produced map is
+// port-preserving isomorphic to the hidden graph, (b) the finder ends
+// back home with the token, and (c) the move count respects the shared
+// R1(n) budget — the load-bearing facts behind Theorem 8.
+#include <gtest/gtest.h>
+
+#include "core/schedule.hpp"
+#include "core/token_mapper.hpp"
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+
+namespace gather::core {
+namespace {
+
+struct MapperOutcome {
+  graph::NodeId finder_at = 0;
+  graph::NodeId token_at = 0;
+  std::uint64_t rounds = 0;
+};
+
+/// Execute the mapper physically: the token is a co-moving entity that
+/// accompanies take_token moves and stays put otherwise.
+MapperOutcome drive(const graph::Graph& g, graph::NodeId start,
+                    TokenMapper& mapper) {
+  MapperOutcome out;
+  graph::NodeId finder = start;
+  graph::NodeId token = start;
+  sim::Port entry = sim::kNoPort;
+  for (;;) {
+    const bool token_here = (finder == token);
+    const auto decision = mapper.on_round(g.degree(finder), entry, token_here);
+    if (!decision.has_value()) break;
+    const graph::HalfEdge h = g.traverse(finder, decision->port);
+    if (decision->take_token && token == finder) token = h.to;
+    finder = h.to;
+    entry = h.to_port;
+    ++out.rounds;
+    EXPECT_LT(out.rounds, std::uint64_t{10'000'000}) << "runaway mapper";
+    if (out.rounds >= 10'000'000) break;
+  }
+  out.finder_at = finder;
+  out.token_at = token;
+  return out;
+}
+
+class MapperOnFamilies : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MapperOnFamilies, BuildsIsomorphicMapWithinBudget) {
+  const std::uint64_t seed = GetParam();
+  for (const auto& entry : graph::standard_test_suite(seed)) {
+    SCOPED_TRACE(entry.name);
+    const graph::Graph& g = entry.graph;
+    const graph::NodeId start =
+        static_cast<graph::NodeId>((seed * 7) % g.num_nodes());
+    TokenMapper mapper;
+    const MapperOutcome out = drive(g, start, mapper);
+
+    ASSERT_TRUE(mapper.finished());
+    // Finder is home with the token.
+    EXPECT_EQ(out.finder_at, start);
+    EXPECT_EQ(out.token_at, start);
+    EXPECT_EQ(mapper.position(), mapper.map().root());
+    // Map has the right size and is port-preserving isomorphic to g,
+    // with the root mapped to the physical start node.
+    EXPECT_EQ(mapper.map().num_nodes(), g.num_nodes());
+    const graph::Graph exported = mapper.map().to_graph();
+    const auto iso = graph::port_isomorphism_rooted(
+        exported, mapper.map().root(), g, start);
+    EXPECT_TRUE(iso.has_value());
+    // Shared round budget (what keeps all robots synchronized).
+    EXPECT_LE(out.rounds, Schedule::map_budget(g.num_nodes()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperOnFamilies,
+                         ::testing::Values(1, 2, 3, 4, 11, 23));
+
+TEST(TokenMapper, SingleNodeGraphFinishesInstantly) {
+  const graph::Graph g = graph::GraphBuilder(1).finish();
+  TokenMapper mapper;
+  const auto decision = mapper.on_round(0, sim::kNoPort, true);
+  EXPECT_FALSE(decision.has_value());
+  EXPECT_TRUE(mapper.finished());
+  EXPECT_EQ(mapper.map().num_nodes(), 1u);
+}
+
+TEST(TokenMapper, TwoNodeGraph) {
+  const graph::Graph g = graph::make_path(2);
+  TokenMapper mapper;
+  const MapperOutcome out = drive(g, 0, mapper);
+  EXPECT_TRUE(mapper.finished());
+  EXPECT_EQ(mapper.map().num_nodes(), 2u);
+  EXPECT_EQ(out.finder_at, 0u);
+  EXPECT_LE(out.rounds, Schedule::map_budget(2));
+}
+
+TEST(TokenMapper, MapScalesAsMN) {
+  // Empirical growth: rounds on rings grow ~ n^2 (m = n), well within the
+  // cubic budget; rounds on complete graphs grow ~ n^3.
+  std::uint64_t ring_rounds_8 = 0, ring_rounds_16 = 0;
+  {
+    TokenMapper m8;
+    ring_rounds_8 = drive(graph::make_ring(8), 0, m8).rounds;
+    TokenMapper m16;
+    ring_rounds_16 = drive(graph::make_ring(16), 0, m16).rounds;
+  }
+  // Quadratic-ish growth: factor between 2x and 8x for doubling n.
+  EXPECT_GT(ring_rounds_16, 2 * ring_rounds_8);
+  EXPECT_LT(ring_rounds_16, 8 * ring_rounds_8);
+}
+
+TEST(TokenMapper, PortShuffledGraphStillMapped) {
+  const graph::Graph g =
+      graph::shuffle_ports(graph::make_grid(3, 4), 99);
+  TokenMapper mapper;
+  const MapperOutcome out = drive(g, 5, mapper);
+  EXPECT_TRUE(mapper.finished());
+  EXPECT_EQ(mapper.map().num_nodes(), g.num_nodes());
+  const auto iso = graph::port_isomorphism_rooted(mapper.map().to_graph(),
+                                                  mapper.map().root(), g, 5);
+  EXPECT_TRUE(iso.has_value());
+  (void)out;
+}
+
+}  // namespace
+}  // namespace gather::core

@@ -1,0 +1,171 @@
+// Theorem 8 tests: Undispersed-Gathering gathers with detection in
+// O(n^3) rounds from any undispersed configuration, using O(m log n)
+// memory per robot; on a dispersed configuration nothing moves.
+#include <gtest/gtest.h>
+
+#include "core/robots.hpp"
+#include "core/run.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/placement.hpp"
+#include "support/math.hpp"
+#include "uxs/uxs.hpp"
+
+namespace gather::core {
+namespace {
+
+RunSpec ug_spec(const graph::Graph& g) {
+  RunSpec spec;
+  spec.algorithm = AlgorithmKind::UndispersedOnly;
+  spec.config = make_config(g, uxs::make_pseudorandom_sequence(g.num_nodes(), 8));
+  return spec;
+}
+
+sim::Round expected_total(std::size_t n) {
+  return Schedule::map_budget(n) + 2 * static_cast<sim::Round>(n);
+}
+
+class UndispersedOnFamilies
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(UndispersedOnFamilies, GathersWithDetection) {
+  const auto [k, seed] = GetParam();
+  for (const auto& entry : graph::standard_test_suite(seed)) {
+    SCOPED_TRACE(entry.name + " k=" + std::to_string(k));
+    const graph::Graph& g = entry.graph;
+    const std::size_t robots = std::min(k, g.num_nodes() + 2);
+    if (robots < 2) continue;
+    const auto nodes = graph::nodes_undispersed_random(g, robots, seed);
+    const auto placement = graph::make_placement(
+        nodes, graph::labels_random_distinct(robots, g.num_nodes(), 2, seed));
+    const RunOutcome out = run_gathering(g, placement, ug_spec(g));
+    EXPECT_TRUE(out.result.all_terminated);
+    EXPECT_FALSE(out.result.hit_round_cap);
+    EXPECT_TRUE(out.result.gathered_at_end);
+    EXPECT_TRUE(out.result.detection_correct);
+    // Termination at exactly R1 + 2n — the robots' shared counter.
+    EXPECT_EQ(out.result.metrics.rounds, expected_total(g.num_nodes()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, UndispersedOnFamilies,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{4},
+                                         std::size_t{7}),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{9})));
+
+TEST(Undispersed, GathersAtMinGroupFindersHome) {
+  // Two groups; the smaller-label finder's start node wins (Lemma 7).
+  const graph::Graph g = graph::make_ring(10);
+  graph::Placement placement;
+  placement.push_back({2, 5});   // finder of group 5 at node 2
+  placement.push_back({2, 9});
+  placement.push_back({7, 3});   // finder of group 3 at node 7 (minimum)
+  placement.push_back({7, 8});
+  const RunOutcome out = run_gathering(g, placement, ug_spec(g));
+  EXPECT_TRUE(out.result.detection_correct);
+  EXPECT_EQ(out.result.gather_node, 7u);
+}
+
+TEST(Undispersed, CollectsWaiters) {
+  const graph::Graph g = graph::make_path(9);
+  graph::Placement placement;
+  placement.push_back({4, 1});
+  placement.push_back({4, 2});
+  placement.push_back({0, 3});  // waiters at both ends
+  placement.push_back({8, 4});
+  const RunOutcome out = run_gathering(g, placement, ug_spec(g));
+  EXPECT_TRUE(out.result.detection_correct);
+  EXPECT_EQ(out.result.gather_node, 4u);
+}
+
+TEST(Undispersed, DispersedConfigurationDoesNothing) {
+  // Precondition violation: every robot is a waiter; all terminate at
+  // R1+2n without having moved, still dispersed (the paper's Lemma 11
+  // "all alone" branch).
+  const graph::Graph g = graph::make_grid(3, 3);
+  const auto nodes = graph::nodes_dispersed_random(g, 4, 3);
+  const auto placement =
+      graph::make_placement(nodes, graph::labels_sequential(4));
+  const RunOutcome out = run_gathering(g, placement, ug_spec(g));
+  EXPECT_TRUE(out.result.all_terminated);
+  EXPECT_FALSE(out.result.gathered_at_end);
+  EXPECT_FALSE(out.result.detection_correct);
+  EXPECT_EQ(out.result.metrics.total_moves, 0u);
+}
+
+TEST(Undispersed, AllOnOneNodeIsImmediatelyGathered) {
+  const graph::Graph g = graph::make_torus(3, 3);
+  const auto nodes = graph::nodes_all_on_one(g, 5, 2);
+  const auto placement =
+      graph::make_placement(nodes, graph::labels_sequential(5));
+  const RunOutcome out = run_gathering(g, placement, ug_spec(g));
+  EXPECT_TRUE(out.result.detection_correct);
+  EXPECT_EQ(out.result.metrics.first_gathered, 0u);
+  // The finder still maps the graph (it cannot know it is alone-group).
+  EXPECT_GT(out.result.metrics.total_moves, 0u);
+}
+
+TEST(Undispersed, ManyRobotsPigeonhole) {
+  // k > n forces an undispersed configuration (paper §2.1 discussion).
+  const graph::Graph g = graph::make_ring(5);
+  std::vector<graph::NodeId> nodes;
+  for (std::size_t i = 0; i < 7; ++i)
+    nodes.push_back(static_cast<graph::NodeId>(i % 5));
+  const auto placement =
+      graph::make_placement(nodes, graph::labels_sequential(7));
+  const RunOutcome out = run_gathering(g, placement, ug_spec(g));
+  EXPECT_TRUE(out.result.detection_correct);
+}
+
+TEST(Undispersed, MemoryIsOrderMLogN) {
+  // Peak map bits across robots stays within a small constant of
+  // m * ceil(log2(n+1)) (Theorem 8's O(m log n)).
+  for (const auto& entry : graph::standard_test_suite(5)) {
+    SCOPED_TRACE(entry.name);
+    const graph::Graph& g = entry.graph;
+    const auto nodes = graph::nodes_undispersed_random(g, 3, 7);
+    const auto placement =
+        graph::make_placement(nodes, graph::labels_sequential(3));
+    const RunOutcome out = run_gathering(g, placement, ug_spec(g));
+    ASSERT_TRUE(out.result.detection_correct);
+    const double m_log_n =
+        static_cast<double>(g.num_edges()) *
+        std::max(1u, support::ceil_log2(g.num_nodes() + 1));
+    EXPECT_GT(out.peak_map_bits, 0u);
+    EXPECT_LE(static_cast<double>(out.peak_map_bits), 16.0 * m_log_n + 64.0);
+  }
+}
+
+TEST(Undispersed, RoundsBoundIsCubicShape) {
+  // Measured rounds equal R(n) = Θ(n^3) by construction; check the
+  // constant-free shape across doubling n on rings.
+  graph::Placement p8, p16;
+  const graph::Graph g8 = graph::make_ring(8);
+  const graph::Graph g16 = graph::make_ring(16);
+  p8 = graph::make_placement(graph::nodes_undispersed_random(g8, 2, 1),
+                             graph::labels_sequential(2));
+  p16 = graph::make_placement(graph::nodes_undispersed_random(g16, 2, 1),
+                              graph::labels_sequential(2));
+  const auto r8 = run_gathering(g8, p8, ug_spec(g8)).result.metrics.rounds;
+  const auto r16 = run_gathering(g16, p16, ug_spec(g16)).result.metrics.rounds;
+  const double ratio = static_cast<double>(r16) / static_cast<double>(r8);
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 9.0);  // ~8 for a cubic budget
+}
+
+TEST(Undispersed, SingleNodeGraph) {
+  // With n = 1 the label range [1, n^b] admits exactly one robot.
+  const graph::Graph g = graph::GraphBuilder(1).finish();
+  graph::Placement placement;
+  placement.push_back({0, 1});
+  RunSpec spec;
+  spec.algorithm = AlgorithmKind::UndispersedOnly;
+  spec.config = make_config(g, uxs::make_pseudorandom_sequence(1, 1));
+  const RunOutcome out = run_gathering(g, placement, spec);
+  EXPECT_TRUE(out.result.all_terminated);
+  EXPECT_TRUE(out.result.detection_correct);  // trivially gathered
+}
+
+}  // namespace
+}  // namespace gather::core

@@ -1,0 +1,125 @@
+// WalkEnumerator tests — the i-Hop-Meeting ball walk must visit every
+// node within i hops, return to its start, and respect the paper's cycle
+// budget Σ_{j=1..i} 2(n-1)^j (tight on the complete graph).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/walk_enumerator.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "support/math.hpp"
+
+namespace gather::core {
+namespace {
+
+struct WalkOutcome {
+  std::set<graph::NodeId> visited;
+  graph::NodeId final_node = 0;
+  std::uint64_t moves = 0;
+};
+
+sim::Round budget(std::size_t n, unsigned depth) {
+  sim::Round total = 0;
+  for (unsigned j = 1; j <= depth; ++j)
+    total += 2 * support::sat_pow(static_cast<std::uint64_t>(n) - 1, j);
+  return total;
+}
+
+class BallWalk
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::uint64_t>> {};
+
+TEST_P(BallWalk, CoversBallReturnsHomeWithinBudget) {
+  const auto [depth, seed] = GetParam();
+  for (const auto& entry : graph::standard_test_suite(seed)) {
+    SCOPED_TRACE(entry.name + " depth=" + std::to_string(depth));
+    const graph::Graph& g = entry.graph;
+    const graph::NodeId start =
+        static_cast<graph::NodeId>(seed % g.num_nodes());
+    WalkOutcome out;
+    {
+      WalkEnumerator walker(depth);
+      graph::NodeId at = start;
+      sim::Port entry_port = sim::kNoPort;
+      out.visited.insert(at);
+      for (;;) {
+        const auto move = walker.next_move(g.degree(at), entry_port);
+        if (!move.has_value()) break;
+        const graph::HalfEdge h = g.traverse(at, *move);
+        at = h.to;
+        entry_port = h.to_port;
+        out.visited.insert(at);
+        ++out.moves;
+      }
+      out.final_node = at;
+    }
+    // Returns home.
+    EXPECT_EQ(out.final_node, start);
+    // Visits exactly the ball of radius `depth` (walks cannot escape it,
+    // and every ball node lies on a short port sequence).
+    const auto expected = graph::ball(g, start, depth);
+    EXPECT_EQ(out.visited.size(), expected.size());
+    for (const graph::NodeId v : expected) EXPECT_TRUE(out.visited.count(v));
+    // Move budget.
+    EXPECT_LE(out.moves, budget(g.num_nodes(), depth));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthsAndSeeds, BallWalk,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(std::uint64_t{3}, std::uint64_t{8})));
+
+TEST(BallWalkBudget, TightOnCompleteGraph) {
+  const graph::Graph g = graph::make_complete(5);
+  WalkEnumerator walker(2);
+  graph::NodeId at = 0;
+  sim::Port entry = sim::kNoPort;
+  std::uint64_t moves = 0;
+  for (;;) {
+    const auto move = walker.next_move(g.degree(at), entry);
+    if (!move.has_value()) break;
+    const graph::HalfEdge h = g.traverse(at, *move);
+    at = h.to;
+    entry = h.to_port;
+    ++moves;
+  }
+  // On K5 the walk tree has exactly 4 + 16 nodes below the root.
+  EXPECT_EQ(moves, budget(5, 2));
+  EXPECT_EQ(at, 0u);
+}
+
+TEST(BallWalk, DepthOneVisitsNeighborsInPortOrder) {
+  const graph::Graph g = graph::make_star(5);
+  WalkEnumerator walker(1);
+  std::vector<graph::NodeId> arrivals;
+  graph::NodeId at = 0;
+  sim::Port entry = sim::kNoPort;
+  for (;;) {
+    const auto move = walker.next_move(g.degree(at), entry);
+    if (!move.has_value()) break;
+    const graph::HalfEdge h = g.traverse(at, *move);
+    at = h.to;
+    entry = h.to_port;
+    arrivals.push_back(at);
+  }
+  // hub -> leaf1 -> hub -> leaf2 -> hub -> ...
+  ASSERT_EQ(arrivals.size(), 8u);
+  EXPECT_EQ(arrivals[0], 1u);
+  EXPECT_EQ(arrivals[1], 0u);
+  EXPECT_EQ(arrivals[2], 2u);
+  EXPECT_EQ(arrivals[7], 0u);
+}
+
+TEST(BallWalk, DegreeZeroFinishesImmediately) {
+  WalkEnumerator walker(3);
+  EXPECT_FALSE(walker.next_move(0, sim::kNoPort).has_value());
+  EXPECT_TRUE(walker.done());
+}
+
+TEST(BallWalk, RejectsDepthZero) {
+  EXPECT_THROW(WalkEnumerator walker(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gather::core
