@@ -42,11 +42,15 @@ void run() {
 
       const double pr = static_cast<double>(mp.outcome.result.metrics.rounds);
       const double ar = static_cast<double>(ma.outcome.result.metrics.rounds);
+      // Built with += to sidestep GCC 12's bogus -Wrestrict on the
+      // rvalue string operator+ overloads (GCC PR105651).
+      std::string speedup = "x";
+      speedup += TextTable::num(pr / ar, 1);
       table.add_row(
           {TextTable::num(std::uint64_t{n}), TextTable::num(std::uint64_t{d}),
            TextTable::grouped(mp.outcome.result.metrics.rounds),
            TextTable::grouped(ma.outcome.result.metrics.rounds),
-           "x" + TextTable::num(pr / ar, 1),
+           std::move(speedup),
            (mp.outcome.result.detection_correct &&
             ma.outcome.result.detection_correct)
                ? "OK"

@@ -39,10 +39,14 @@ void run() {
 
     const double lr = static_cast<double>(ml.outcome.result.metrics.rounds);
     const double hr = static_cast<double>(mh.outcome.result.metrics.rounds);
+    // Built with += to sidestep GCC 12's bogus -Wrestrict on the
+    // rvalue string operator+ overloads (GCC PR105651).
+    std::string speedup = "x";
+    speedup += TextTable::num(lr / hr, 2);
     table.add_row({TextTable::num(std::uint64_t{d}),
                    TextTable::grouped(ml.outcome.result.metrics.rounds),
                    TextTable::grouped(mh.outcome.result.metrics.rounds),
-                   "x" + TextTable::num(lr / hr, 2),
+                   std::move(speedup),
                    (ml.outcome.result.detection_correct &&
                     mh.outcome.result.detection_correct)
                        ? "OK"

@@ -10,6 +10,12 @@
 // robots detect co-location and terminate (with k = 2, meeting IS
 // gathering, so detection is trivial — which is exactly why this
 // baseline does not generalize to many robots, cf. §1.3).
+//
+// Layer contract (umbrella for src/baselines/): comparators from the
+// paper's related work, implemented as sim::Robot programs for the same
+// engine and metrics — but not part of the paper's algorithms and never
+// depended on by src/core. May depend on src/{support,graph,sim,core}.
+// See docs/ARCHITECTURE.md §1.
 #pragma once
 
 #include <optional>

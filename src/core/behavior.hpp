@@ -1,7 +1,8 @@
 // Shared plumbing for the paper's three sub-algorithms.
 //
-// Each sub-algorithm (Undispersed-Gathering §2.2, i-Hop-Meeting §2.3,
-// UXS gathering §2.1) is implemented as a *behavior*: a state machine
+// Each sub-algorithm (Undispersed-Gathering §2.2/Theorem 8, i-Hop-Meeting
+// §2.3/Lemmas 9–10, UXS gathering §2.1/Theorem 6) is implemented as a
+// *behavior*: a state machine
 // that consumes one RoundView per activation and produces an action plus
 // the public state (role tag + groupid) the robot broadcasts from the
 // next round on. Top-level robots compose behaviors along the Schedule.

@@ -1,4 +1,5 @@
-// i-Hop-Meeting (§2.3): turn a dispersed configuration with two robots at
+// i-Hop-Meeting (§2.3, Lemmas 9–10; the dispersed→undispersed engine
+// behind Theorem 12): turn a dispersed configuration with two robots at
 // hop distance ≤ i into an undispersed one, in cycles of
 // T(i) = Σ_{j=1..i} 2·base^j rounds (base = n-1, or Δ under Remark 14).
 //

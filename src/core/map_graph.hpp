@@ -1,4 +1,5 @@
-// The finder's growing map of the anonymous graph (§2.2 Phase 1).
+// The finder's growing map of the anonymous graph (§2.2 Phase 1; the
+// O(m log n)-bit memory term of Theorems 8 and 16).
 //
 // Map nodes are the finder's private names for physical nodes it has
 // *identified* (proved distinct via the token test). Each map node stores

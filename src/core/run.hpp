@@ -4,6 +4,15 @@
 // runs to termination, and reports the round count, detection
 // correctness, per-stage attribution, and memory metrics that the
 // theorems talk about.
+//
+// Layer contract (umbrella for src/core/): the paper's algorithms —
+// §2.1 UXS gathering (Theorem 6), §2.2 Undispersed-Gathering
+// (Theorem 8), §2.3 i-Hop-Meeting and the Faster-Gathering step ladder
+// (Theorems 12/16) — implemented as sim::Robot programs plus the shared
+// schedule. Robot-side code in this layer observes the world only
+// through sim::RoundView; it may depend on src/{support,graph,sim,uxs}
+// but touches graph/ only for oracle-free types (ports). Harnesses enter
+// through run_gathering(). See docs/ARCHITECTURE.md §1–2.
 #pragma once
 
 #include <cstdint>

@@ -1,4 +1,5 @@
-// The global round timeline of Faster-Gathering (§2.3).
+// The global round timeline of Faster-Gathering (§2.3) — the stage
+// budgets Theorems 12 and 16 charge against.
 //
 // Every robot computes this schedule from n (and the shared model
 // constants) alone; that common knowledge is what keeps the robots'

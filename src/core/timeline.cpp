@@ -63,13 +63,15 @@ void Timeline::print(std::ostream& os) const {
     switch (s.kind) {
       case StageKind::Undispersed: kind = "undispersed"; break;
       case StageKind::HopThenUndispersed:
-        kind = "hop-" + std::to_string(s.hop) + "+undisp";
+        // std::string first operand sidesteps GCC 12's bogus -Wrestrict on
+        // operator+(const char*, std::string&&) (GCC PR105651).
+        kind = std::string("hop-") + std::to_string(s.hop) + "+undisp";
         break;
       case StageKind::UxsGathering: kind = "uxs-catchall"; break;
     }
     table.add_row(
         {TextTable::num(std::uint64_t{s.stage_index}), kind,
-         "[" + TextTable::grouped(s.start) + ", " +
+         std::string("[") + TextTable::grouped(s.start) + ", " +
              TextTable::grouped(s.start + s.duration) + ")",
          TextTable::grouped(s.moves),
          TextTable::num(std::uint64_t{s.moves_by_robot.size()}),

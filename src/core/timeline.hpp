@@ -1,6 +1,8 @@
 // Post-run analysis: bucket a recorded engine trace by the schedule's
 // stages to show where a run spent its movement — which step did the
-// work, who moved, and when gathering actually happened. Powers
+// work, who moved, and when gathering actually happened. Stage
+// attribution is the quantity Theorems 12 and 16 reason about (which
+// ladder step resolves a given initial configuration). Powers
 // gather_cli --timeline and the debugging workflow ("why did this run
 // resolve in stage 3?").
 #pragma once

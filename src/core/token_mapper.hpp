@@ -1,4 +1,5 @@
-// Phase-1 map construction (§2.2): the finder, using its co-located
+// Phase-1 map construction (§2.2; the O(mn) ⊆ O(n^3) term of Theorem 8):
+// the finder, using its co-located
 // helper group as a *movable token*, builds a port-labeled map of the
 // anonymous graph — the token-explorer approach of Dieudonné–Pelc–Peleg
 // [18], reconstructed here.

@@ -1,5 +1,5 @@
-// Undispersed-Gathering (§2.2): gathering with detection in O(n^3) rounds
-// when some start node holds two or more robots.
+// Undispersed-Gathering (§2.2, Theorem 8): gathering with detection in
+// O(n^3) rounds when some start node holds two or more robots.
 //
 // Roles are fixed by the configuration at the behavior's start round:
 // the minimum-ID robot of a multi-robot node is the *finder*, its

@@ -1,7 +1,7 @@
-// UXS-based gathering with detection (§2.1) — the catch-all that works
-// for any number of robots and any configuration, in O(T·log L) rounds
-// (T = exploration bound, L = largest label), i.e. Õ(n^5) with the
-// paper's T.
+// UXS-based gathering with detection (§2.1, Theorem 6) — the catch-all
+// that works for any number of robots and any configuration, in
+// O(T·log L) rounds (T = exploration bound, L = largest label), i.e.
+// Õ(n^5) with the paper's T.
 //
 // Time is divided into phases of 2T rounds, aligned for all robots. In
 // phase p a group leader (a robot not following anyone) reads bit p of

@@ -1,5 +1,6 @@
 // Exhaustive depth-limited port-walk — the "DFS traversal following the
-// port numbers" of i-Hop-Meeting (§2.3).
+// port numbers" of i-Hop-Meeting (§2.3; the ball walk Lemma 9's cycle
+// budget counts).
 //
 // In an anonymous graph a robot cannot recognize previously visited
 // nodes, so "visit all nodes within i hops" is realized as a physical

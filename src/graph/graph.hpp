@@ -6,6 +6,12 @@
 // NodeId values exist only on the simulator side (the "adversary's view");
 // the robot algorithms never see them — the sim layer enforces that by
 // exposing only degrees, ports, and co-located robot messages.
+//
+// Layer contract (umbrella for src/graph/): the oracle-side substrate —
+// graph structure, generators, placements, classic algorithms, IO. May
+// depend only on src/support. Nothing in this layer is visible to robot
+// code; only the sim engine and the harnesses (tests/bench/examples) may
+// include it. See docs/ARCHITECTURE.md §1.
 #pragma once
 
 #include <cstdint>

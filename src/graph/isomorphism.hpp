@@ -1,5 +1,6 @@
 // Port-preserving isomorphism — the correctness oracle for Phase-1 map
-// construction (§2.2 / [18]).
+// construction (§2.2 / [18]; how tests certify the map Theorem 8's
+// finder builds).
 //
 // A finder's map is correct iff it is isomorphic to the hidden graph *as a
 // port-labeled graph*: there is a bijection f of nodes such that crossing

@@ -17,6 +17,13 @@
 //    Õ(n^5)-round schedules are dominated by such quiet stretches, which
 //    is what makes them simulable. `naive_stepping` disables all of this
 //    for the equivalence tests.
+//
+// Layer contract (umbrella for src/sim/): the execution model and the
+// robot/oracle boundary. The engine holds the whole-graph view; robots
+// implement sim::Robot and observe only the RoundView it hands them
+// (n, own label, degree, entry port, co-located public states). May
+// depend on src/{support,graph}; it knows nothing about the concrete
+// algorithms it runs. See docs/ARCHITECTURE.md §1.
 #pragma once
 
 #include <memory>

@@ -3,6 +3,11 @@
 // Supports --key=value, --key value, and boolean --flag forms, with typed
 // accessors and a generated usage string. No external dependencies; just
 // enough for gather_cli and the experiment binaries' optional knobs.
+//
+// Layer contract (src/support/): pure utilities with no knowledge of the
+// paper's model — assertions, RNG, bitstrings, math, stats, tables, CSV,
+// CLI, parallel sweeps. Depends on nothing but the standard library;
+// every other layer may depend on it. See docs/ARCHITECTURE.md §1.
 #pragma once
 
 #include <cstdint>

@@ -15,6 +15,12 @@
 // oracle for fast tests, and a coverage validator that proves, for each
 // experiment graph, the property the §2.1 lemmas consume: the walk visits
 // all nodes from every start.
+//
+// Layer contract (umbrella for src/uxs/): exploration sequences and their
+// validation — the black box Theorem 6 is built on. Sequences are pure
+// data derived from n (common knowledge, usable by robot code); the
+// coverage validators take a Graph and are oracle-side only. May depend
+// on src/{support,graph}. See docs/ARCHITECTURE.md §1 and DESIGN.md §3.1.
 #pragma once
 
 #include <cstdint>
