@@ -2,11 +2,10 @@
 // i-Hop-Meeting cycles from Σ 2(n-1)^j to Σ 2Δ^j, turning the hop
 // budgets from O(n^i log n) into O(R + Δ^i log n).
 //
-// Same workloads as E-L10 with the delta_aware switch toggled; on
+// Same workloads as E-L10 with the ScenarioSpec's delta_aware knob
+// toggled (the only field that differs between the paired runs); on
 // bounded-degree families the speedup grows without bound in n.
 #include "bench_common.hpp"
-
-#include "core/schedule.hpp"
 
 namespace gather::bench {
 namespace {
@@ -22,24 +21,33 @@ void run() {
                    "speedup", "detection both"});
   auto csv = maybe_csv("ablation_delta", {"n", "d", "plain", "aware"});
 
-  for (const std::size_t n : {12UL, 16UL, 24UL, 32UL}) {
-    for (const unsigned d : {3u, 4u, 5u}) {
-      const graph::Graph g = graph::make_ring(n);
-      const auto nodes = graph::nodes_pair_at_distance(g, 3, d, 3);
-      const auto placement = graph::make_placement(
-          nodes, graph::labels_random_distinct(3, n, 2, 5));
-      const auto seq = uxs::make_covering_sequence(g, 3);
+  const std::vector<std::size_t> sizes{12, 16, 24, 32};
+  const std::vector<unsigned> distances{3, 4, 5};
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const std::size_t n : sizes) {
+    for (const unsigned d : distances) {
+      scenario::ScenarioSpec plain;
+      plain.family = "ring";
+      plain.n = n;
+      plain.k = 3;
+      plain.placement = "pair";
+      plain.placement_params.set("distance", std::to_string(d));
+      plain.sequence = "covering";
+      plain.seed = 3;
+      specs.push_back(plain);
+      scenario::ScenarioSpec aware = plain;
+      aware.delta_aware = true;
+      specs.push_back(aware);
+    }
+  }
+  const auto results = measure_scenarios(specs);
 
-      core::RunSpec plain;
-      plain.algorithm = core::AlgorithmKind::FasterGathering;
-      plain.config = core::make_config(g, seq);
-      const Measurement mp = measure(g, placement, plain);
-
-      core::RunSpec aware = plain;
-      aware.config.delta_aware = true;
-      aware.config.known_delta = g.max_degree();
-      const Measurement ma = measure(g, placement, aware);
-
+  std::size_t row = 0;
+  for (const std::size_t n : sizes) {
+    for (const unsigned d : distances) {
+      const Measurement& mp = results[2 * row];
+      const Measurement& ma = results[2 * row + 1];
+      ++row;
       const double pr = static_cast<double>(mp.outcome.result.metrics.rounds);
       const double ar = static_cast<double>(ma.outcome.result.metrics.rounds);
       // Built with += to sidestep GCC 12's bogus -Wrestrict on the

@@ -21,6 +21,18 @@ Measurement measure(const graph::Graph& g, const graph::Placement& placement,
   return m;
 }
 
+Measurement measure(const scenario::ScenarioSpec& spec) {
+  const scenario::ResolvedScenario r = scenario::resolve(spec);
+  return measure(r.graph, r.placement, r.run_spec);
+}
+
+std::vector<Measurement> measure_scenarios(
+    const std::vector<scenario::ScenarioSpec>& specs) {
+  return support::parallel_map_index<Measurement>(
+      specs.size(), support::default_thread_count(),
+      [&](std::size_t i) { return measure(specs[i]); });
+}
+
 std::vector<Measurement> measure_all(
     const std::vector<std::function<Measurement()>>& thunks) {
   return support::parallel_map_index<Measurement>(

@@ -16,6 +16,8 @@
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/placement.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
 #include "support/csv.hpp"
 #include "support/parallel_for.hpp"
 #include "support/stats.hpp"
@@ -46,7 +48,18 @@ struct Measurement {
                                   const graph::Placement& placement,
                                   const core::RunSpec& spec);
 
-/// Run a batch of thunks in parallel, preserving order.
+/// Scenario-layer adapter: resolve a declarative spec and measure it.
+[[nodiscard]] Measurement measure(const scenario::ScenarioSpec& spec);
+
+/// Run a batch of declarative specs through the parallel executor,
+/// preserving order — the bench-side face of scenario::SweepRunner for
+/// tables that are not a single cartesian grid.
+[[nodiscard]] std::vector<Measurement> measure_scenarios(
+    const std::vector<scenario::ScenarioSpec>& specs);
+
+/// Run a batch of thunks in parallel, preserving order. (Thin wrapper
+/// over support::parallel_map_index — kept for benches whose instances
+/// are hand-built rather than declarative.)
 [[nodiscard]] std::vector<Measurement> measure_all(
     const std::vector<std::function<Measurement()>>& thunks);
 

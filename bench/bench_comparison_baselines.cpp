@@ -3,16 +3,20 @@
 // vs the randomized random-walk baseline (no detection).
 //
 // Both deterministic algorithms use the SAME paper-length exploration
-// sequence, T = n^5·log n — that is the bound the prior art pays on
+// sequence (the 'paper-checked' policy: T = n^5·log n, coverage-validated
+// with a covering fallback) — that is the bound the prior art pays on
 // every instance, and what Faster-Gathering's cheap early stages avoid
 // whenever enough robots (Lemma 15) or a close pair exist. The paper's
 // prediction: Faster wins by a growing factor once k ≥ ⌊n/3⌋+1 (and for
 // any pair within distance 5); only far-spread tiny k fall back to the
 // shared catch-all, where Faster pays a ladder surcharge on top.
+//
+// The instances are declarative ScenarioSpecs; only the algorithm axis
+// differs between the two deterministic columns, so both resolve to the
+// identical graph, placement, and sequence.
 #include "bench_common.hpp"
 
 #include "baselines/random_walk.hpp"
-#include "core/schedule.hpp"
 #include "sim/engine.hpp"
 
 namespace gather::bench {
@@ -32,10 +36,9 @@ std::uint64_t random_walk_rounds(const graph::Graph& g,
   return engine.run().metrics.rounds;
 }
 
-struct Row {
+struct Instance {
   std::string label;
-  graph::Graph graph;
-  graph::Placement placement;
+  scenario::ScenarioSpec spec;  // algorithm left at "faster"
 };
 
 void run() {
@@ -48,26 +51,50 @@ void run() {
          "T = n^5 log n (validated for coverage). Random walk is stopped\n"
          "by an omniscient oracle — it has NO detection of its own.\n";
 
-  std::vector<Row> rows;
-  {
-    const std::size_t n = 8;
-    const graph::Graph ring = graph::make_ring(n);
-    for (const std::size_t k : {2UL, 3UL, 5UL, 8UL}) {
-      const auto nodes = graph::nodes_adversarial_spread(ring, k, 7);
-      rows.push_back(Row{
-          "ring8 k=" + std::to_string(k), ring,
-          graph::make_placement(nodes,
-                                graph::labels_random_distinct(k, n, 2, 29))});
-    }
+  std::vector<Instance> instances;
+  for (const std::size_t k : {2UL, 3UL, 5UL, 8UL}) {
+    scenario::ScenarioSpec spec;
+    spec.family = "ring";
+    spec.n = 8;
+    spec.k = k;
+    spec.placement = "adversarial";
+    spec.sequence = "paper-checked";
+    spec.seed = 7;
+    instances.push_back({"ring8 k=" + std::to_string(k), spec});
   }
   {
     // Far pair beyond distance 5: both algorithms share the catch-all.
-    const graph::Graph path = graph::make_path(9);
-    graph::Placement far;
-    far.push_back({0, 5});
-    far.push_back({8, 9});
-    rows.push_back(Row{"path9 far pair", path, far});
+    scenario::ScenarioSpec spec;
+    spec.family = "path";
+    spec.n = 9;
+    spec.k = 2;
+    spec.placement = "pair";
+    spec.placement_params.set("distance", "8");  // the path's endpoints
+    spec.sequence = "paper-checked";
+    spec.seed = 7;
+    instances.push_back({"path9 far pair", spec});
   }
+
+  // Resolve each instance ONCE (the paper-length sequence is n^5 log n
+  // to build and coverage-check); both algorithm columns and the
+  // random-walk baseline share the resolved graph/placement/sequence.
+  std::vector<scenario::ResolvedScenario> resolved;
+  std::vector<std::function<Measurement()>> fast_thunks, uxs_thunks;
+  resolved.reserve(instances.size());
+  for (const Instance& inst : instances) {
+    resolved.push_back(scenario::resolve(inst.spec));
+    const scenario::ResolvedScenario& r = resolved.back();
+    core::RunSpec faster = r.run_spec;
+    faster.algorithm = core::AlgorithmKind::FasterGathering;
+    fast_thunks.push_back(
+        [&r, faster] { return measure(r.graph, r.placement, faster); });
+    core::RunSpec uxs_only = r.run_spec;
+    uxs_only.algorithm = core::AlgorithmKind::UxsOnly;
+    uxs_thunks.push_back(
+        [&r, uxs_only] { return measure(r.graph, r.placement, uxs_only); });
+  }
+  const auto fast_results = measure_all(fast_thunks);
+  const auto uxs_results = measure_all(uxs_thunks);
 
   TextTable table({"instance", "k", "min dist", "Faster rounds", "stage",
                    "UXS-only rounds", "who wins", "random walk",
@@ -75,39 +102,17 @@ void run() {
   auto csv = maybe_csv("comparison", {"instance", "k", "mindist", "faster",
                                       "uxs_only", "random_walk"});
 
-  std::vector<std::function<Measurement()>> fast_thunks, uxs_thunks;
-  for (const Row& row : rows) {
-    const std::size_t n = row.graph.num_nodes();
-    auto seq = uxs::make_pseudorandom_sequence(n, uxs::paper_length(n));
-    if (!uxs::covers_all_starts(row.graph, *seq)) {
-      seq = uxs::make_covering_sequence(row.graph, 5);
-    }
-    core::RunSpec faster;
-    faster.algorithm = core::AlgorithmKind::FasterGathering;
-    faster.config = core::make_config(row.graph, seq);
-    fast_thunks.push_back(
-        [&row, faster] { return measure(row.graph, row.placement, faster); });
-    core::RunSpec uxs_only;
-    uxs_only.algorithm = core::AlgorithmKind::UxsOnly;
-    uxs_only.config = core::make_config(row.graph, seq);
-    uxs_thunks.push_back(
-        [&row, uxs_only] { return measure(row.graph, row.placement, uxs_only); });
-  }
-  const auto fast_results = measure_all(fast_thunks);
-  const auto uxs_results = measure_all(uxs_thunks);
-
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Instance& inst = instances[i];
     const auto& mf = fast_results[i];
     const auto& mu = uxs_results[i];
-    const std::uint32_t dist = graph::min_pairwise_distance(
-        row.graph, graph::start_nodes(row.placement));
-    const std::uint64_t rw = random_walk_rounds(row.graph, row.placement, 51);
+    const scenario::ResolvedScenario& r = resolved[i];
+    const std::uint64_t rw = random_walk_rounds(r.graph, r.placement, 51);
     const double fr = static_cast<double>(mf.outcome.result.metrics.rounds);
     const double ur = static_cast<double>(mu.outcome.result.metrics.rounds);
     table.add_row(
-        {row.label, TextTable::num(std::uint64_t{row.placement.size()}),
-         TextTable::num(std::uint64_t{dist}),
+        {inst.label, TextTable::num(std::uint64_t{inst.spec.k}),
+         TextTable::num(std::uint64_t{r.min_pair_distance}),
          TextTable::grouped(mf.outcome.result.metrics.rounds),
          "hop-" + std::to_string(mf.outcome.gathered_stage_hop),
          TextTable::grouped(mu.outcome.result.metrics.rounds),
@@ -118,9 +123,8 @@ void run() {
              "/" + (mu.outcome.result.detection_correct ? "OK" : "fail") +
              "/none"});
     if (csv) {
-      csv->add_row({row.label,
-                    TextTable::num(std::uint64_t{row.placement.size()}),
-                    TextTable::num(std::uint64_t{dist}),
+      csv->add_row({inst.label, TextTable::num(std::uint64_t{inst.spec.k}),
+                    TextTable::num(std::uint64_t{r.min_pair_distance}),
                     TextTable::num(mf.outcome.result.metrics.rounds),
                     TextTable::num(mu.outcome.result.metrics.rounds),
                     TextTable::num(rw)});

@@ -6,21 +6,21 @@
 // "power of many robots": more robots force a closer pair (Lemma 15),
 // which lets the cheap early stages finish the job.
 //
-// For each regime, sweep n, measure rounds, and fit the exponent. The
-// regime-(iii) rows use 2 far robots; their round count is dominated by
-// the ladder offset Σ hop budgets = Θ(n^5 log n), the paper's Õ(n^5).
+// The regimes are exactly a scenario sweep: families × k-rules × sizes
+// under the adversarial placement, so this bench is a SweepSpec plus
+// per-regime exponent fits over the returned rows. The regime-(iii)
+// rows use 2 far robots; their round count is dominated by the ladder
+// offset Σ hop budgets = Θ(n^5 log n), the paper's Õ(n^5).
 #include "bench_common.hpp"
-
-#include "core/schedule.hpp"
 
 namespace gather::bench {
 namespace {
 
 struct Regime {
+  std::string rule;  // k-rule name, the sweep's regime axis
   std::string name;
   std::string expected;
-  std::function<std::size_t(std::size_t)> robots;  // k(n)
-  int max_stage_hop;                               // stage that must suffice
+  int max_stage_hop;  // stage that must suffice
 };
 
 void run() {
@@ -30,25 +30,28 @@ void run() {
   std::cout << "Workload: adversarial max-min-distance placements on rings\n"
                "and sparse random graphs; labels random in [1, n^2].\n";
 
-  const std::vector<Regime> regimes{
-      {"(i) k=n/2+1", "O(n^3)",
-       [](std::size_t n) { return n / 2 + 1; }, 2},
-      {"(ii) k=n/3+1", "O(n^4 log n)",
-       [](std::size_t n) { return n / 3 + 1; }, 4},
-      {"(iii) k=2 far", "O~(n^5)", [](std::size_t) { return std::size_t{2}; },
-       6},
+  std::vector<Regime> regimes{
+      {"n/2+1", "(i) k=n/2+1", "O(n^3)", 2},
+      {"n/3+1", "(ii) k=n/3+1", "O(n^4 log n)", 4},
+      {"2", "(iii) k=2 far", "O~(n^5)", 6},
   };
-  const std::vector<std::size_t> sizes{9, 12, 15, 18, 24, 30};
 
-  struct FamilySpec {
-    std::string name;
-    std::function<graph::Graph(std::size_t)> make;
+  scenario::SweepSpec sweep;
+  sweep.base.placement = "adversarial";
+  sweep.base.algorithm = "faster";
+  sweep.base.sequence = "covering";
+  sweep.base.seed = 41;
+  sweep.families = {"ring", "random"};
+  sweep.sizes = {9, 12, 15, 18, 24, 30};
+  for (Regime& regime : regimes) {
+    sweep.k_rules.push_back(scenario::parse_k_rule(regime.rule));
+    regime.rule = sweep.k_rules.back().name;  // row key, e.g. "2" -> "k=2"
+  }
+  sweep.filter = [](const scenario::ScenarioSpec& s) {
+    return s.k >= 2 && s.k <= s.n;
   };
-  const std::vector<FamilySpec> families{
-      {"ring", [](std::size_t n) { return graph::make_ring(n); }},
-      {"random(m=2n)",
-       [](std::size_t n) { return graph::make_random_connected(n, 2 * n, 31); }},
-  };
+  const std::vector<scenario::SweepRow> rows =
+      scenario::SweepRunner::run(sweep);
 
   TextTable table({"family", "regime", "n", "k", "min dist", "rounds",
                    "achieved stage", "fit input", "detection"});
@@ -56,63 +59,44 @@ void run() {
                                      "rounds", "stage", "detection"});
   TextTable fits({"family", "regime", "rounds growth", "expected"});
 
-  for (const FamilySpec& family : families) {
+  // Rows arrive grouped family -> k-rule -> n (the sweep's documented
+  // order), so per-(family, regime) fits are contiguous scans.
+  for (const std::string& family : sweep.families) {
     for (const Regime& regime : regimes) {
       std::vector<double> ns, rounds;
-      std::vector<std::function<Measurement()>> thunks;
-      std::vector<std::size_t> job_n, job_k;
-      std::vector<std::uint32_t> job_dist;
-      for (const std::size_t n : sizes) {
-        const std::size_t k = regime.robots(n);
-        if (k < 2 || k > n) continue;
-        graph::Graph g = family.make(n);
-        const auto nodes = graph::nodes_adversarial_spread(g, k, 41);
-        job_n.push_back(n);
-        job_k.push_back(k);
-        job_dist.push_back(graph::min_pairwise_distance(g, nodes));
-        const auto placement = graph::make_placement(
-            nodes, graph::labels_random_distinct(k, n, 2, 43));
-        core::RunSpec spec;
-        spec.algorithm = core::AlgorithmKind::FasterGathering;
-        spec.config = core::make_config(g, uxs::make_covering_sequence(g, 3));
-        thunks.push_back([g = std::move(g), placement, spec] {
-          return measure(g, placement, spec);
-        });
-      }
-      const auto results = measure_all(thunks);
-      for (std::size_t i = 0; i < results.size(); ++i) {
-        const auto& m = results[i];
+      for (const scenario::SweepRow& row : rows) {
+        if (row.spec.family != family || row.k_rule != regime.rule) continue;
         // Regime (iii)'s Õ(n^5) is the catch-all's cost: only rows that
         // actually reach it (min dist > 5) belong in its exponent fit —
         // smaller instances resolve earlier, which is within the bound
         // but would contaminate the shape estimate.
         const bool fit_row =
-            regime.max_stage_hop < 6 || job_dist[i] > 5;
+            regime.max_stage_hop < 6 || row.min_pair_distance > 5;
         if (fit_row) {
-          ns.push_back(static_cast<double>(job_n[i]));
+          ns.push_back(static_cast<double>(row.realized_n));
           rounds.push_back(
-              static_cast<double>(m.outcome.result.metrics.rounds));
+              static_cast<double>(row.outcome.result.metrics.rounds));
         }
-        table.add_row({family.name, regime.name,
-                       TextTable::num(std::uint64_t{job_n[i]}),
-                       TextTable::num(std::uint64_t{job_k[i]}),
-                       TextTable::num(std::uint64_t{job_dist[i]}),
-                       TextTable::grouped(m.outcome.result.metrics.rounds),
-                       "hop-" + std::to_string(m.outcome.gathered_stage_hop),
+        table.add_row({family, regime.name,
+                       TextTable::num(std::uint64_t{row.realized_n}),
+                       TextTable::num(std::uint64_t{row.spec.k}),
+                       TextTable::num(std::uint64_t{row.min_pair_distance}),
+                       TextTable::grouped(row.outcome.result.metrics.rounds),
+                       "hop-" + std::to_string(row.outcome.gathered_stage_hop),
                        fit_row ? "yes" : "excluded (d<6)",
-                       detection_cell(m.outcome)});
+                       detection_cell(row.outcome)});
         if (csv) {
-          csv->add_row({family.name, regime.name,
-                        TextTable::num(std::uint64_t{job_n[i]}),
-                        TextTable::num(std::uint64_t{job_k[i]}),
-                        TextTable::num(std::uint64_t{job_dist[i]}),
-                        TextTable::num(m.outcome.result.metrics.rounds),
+          csv->add_row({family, regime.name,
+                        TextTable::num(std::uint64_t{row.realized_n}),
+                        TextTable::num(std::uint64_t{row.spec.k}),
+                        TextTable::num(std::uint64_t{row.min_pair_distance}),
+                        TextTable::num(row.outcome.result.metrics.rounds),
                         TextTable::num(static_cast<std::uint64_t>(
-                            m.outcome.gathered_stage_hop)),
-                        detection_cell(m.outcome)});
+                            row.outcome.gathered_stage_hop)),
+                        detection_cell(row.outcome)});
         }
       }
-      fits.add_row({family.name, regime.name, fitted_exponent(ns, rounds),
+      fits.add_row({family, regime.name, fitted_exponent(ns, rounds),
                     regime.expected});
     }
   }

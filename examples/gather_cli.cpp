@@ -1,112 +1,180 @@
-// gather_cli — run any of the three algorithms on a chosen or custom
-// graph from the command line; the practitioner's entry point.
+// gather_cli — the practitioner's entry point, built on the declarative
+// scenario layer: every graph family, placement, labeling, algorithm, and
+// sequence policy in the registries is reachable by name, in single-run
+// or sweep mode.
 //
 //   gather_cli --graph=ring --n=16 --k=5 --algorithm=faster
 //   gather_cli --graph-file=my.graph --k=3 --placement=dispersed --dot=out.dot
+//   gather_cli --list
+//   gather_cli --sweep --families=ring,torus --sizes=9,12,16
+//              --k-rules=n/2+1,n/3+1 --seeds=1,2 --format=csv
 //
-// Supports every generator family, the edge-list file format (graph/io),
-// all placement strategies, the Remark 13/14 switches, and DOT export of
-// the instance with the gather node highlighted.
+// Sweep mode prints one CSV/JSON row per grid point (deterministic:
+// identical invocations emit byte-identical output across runs and
+// thread counts).
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 
-#include "core/run.hpp"
 #include "core/timeline.hpp"
-#include "graph/algorithms.hpp"
-#include "graph/generators.hpp"
 #include "graph/io.hpp"
-#include "graph/placement.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
 #include "support/cli.hpp"
-#include "uxs/uxs.hpp"
 
 namespace {
 
 using namespace gather;
 
-graph::Graph build_graph(const support::CliParser& cli) {
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::size_t parse_uint_strict(const std::string& item, const char* what) {
+  const std::optional<std::uint64_t> value = scenario::parse_uint(item);
+  if (!value) {
+    throw support::CliError(std::string("bad ") + what + " '" + item + "'");
+  }
+  return *value;
+}
+
+std::vector<std::size_t> split_sizes(const std::string& text) {
+  std::vector<std::size_t> out;
+  for (const std::string& item : split_list(text)) {
+    out.push_back(parse_uint_strict(item, "size"));
+  }
+  return out;
+}
+
+template <typename Factory>
+void print_registry(std::ostream& os, const std::string& title,
+                    const scenario::Registry<Factory>& registry) {
+  os << title << ":\n";
+  for (const auto& [name, entry] : registry.entries()) {
+    os << "  " << name;
+    for (std::size_t i = name.size(); i < 14; ++i) os << ' ';
+    os << ' ' << entry.doc << "\n";
+    for (const scenario::ParamSpec& p : entry.params) {
+      os << "                   param " << p.name << "=<v>  " << p.doc
+         << " (default " << (p.default_value.empty() ? "derived" : p.default_value)
+         << ")\n";
+    }
+  }
+}
+
+void print_list(std::ostream& os) {
+  print_registry(os, "graph families", scenario::graph_families());
+  print_registry(os, "placements", scenario::placements());
+  print_registry(os, "labelings", scenario::labelings());
+  print_registry(os, "algorithms", scenario::algorithms());
+  print_registry(os, "sequence policies", scenario::sequences());
+  os << "k-rule forms: <int> | n | n/D | n/D+P (e.g. n/2+1 is Theorem 16 "
+        "regime (i))\n";
+}
+
+scenario::ScenarioSpec base_spec(const support::CliParser& cli) {
+  scenario::ScenarioSpec spec;
+  spec.family = cli.get("graph");
+  spec.family_params = scenario::Params::parse(cli.get("params"));
   if (cli.provided("graph-file")) {
-    return graph::read_edge_list_file(cli.get("graph-file"));
+    spec.family = "file";
+    spec.family_params.set("path", cli.get("graph-file"));
   }
-  const std::string family = cli.get("graph");
-  const std::size_t n = cli.get_uint("n");
-  const std::uint64_t seed = cli.get_uint("seed");
-  if (family == "ring") return graph::make_ring(n);
-  if (family == "path") return graph::make_path(n);
-  if (family == "complete") return graph::make_complete(n);
-  if (family == "star") return graph::make_star(n);
-  if (family == "grid") return graph::make_grid(4, (n + 3) / 4);
-  if (family == "torus") return graph::make_torus(3, (n + 2) / 3);
-  if (family == "wheel") return graph::make_wheel(n);
-  if (family == "lollipop") return graph::make_lollipop(n);
-  if (family == "barbell") return graph::make_barbell(n);
-  if (family == "tree") return graph::make_random_tree(n, seed);
-  if (family == "random") return graph::make_random_connected(n, 2 * n, seed);
-  throw support::CliError("unknown graph family '" + family + "'");
-}
-
-std::vector<graph::NodeId> place_nodes(const support::CliParser& cli,
-                                       const graph::Graph& g, std::size_t k) {
-  const std::string strategy = cli.get("placement");
-  const std::uint64_t seed = cli.get_uint("seed");
-  if (strategy == "adversarial") return graph::nodes_adversarial_spread(g, k, seed);
-  if (strategy == "dispersed") return graph::nodes_dispersed_random(g, k, seed);
-  if (strategy == "undispersed") return graph::nodes_undispersed_random(g, k, seed);
-  if (strategy == "one-node") return graph::nodes_all_on_one(g, k, seed);
-  if (strategy == "pair") {
-    return graph::nodes_pair_at_distance(
-        g, k, static_cast<std::uint32_t>(cli.get_uint("pair-distance")), seed);
+  spec.n = cli.get_uint("n");
+  spec.k = cli.get_uint("k");
+  spec.placement = cli.get("placement");
+  spec.placement_params = scenario::Params::parse(cli.get("placement-params"));
+  if (cli.provided("pair-distance")) {
+    spec.placement_params.set("distance", cli.get("pair-distance"));
   }
-  throw support::CliError("unknown placement '" + strategy + "'");
-}
-
-int run(const support::CliParser& cli) {
-  const graph::Graph g = build_graph(cli);
-  const std::size_t n = g.num_nodes();
-  const std::size_t k = cli.get_uint("k");
-
-  const auto nodes = place_nodes(cli, g, k);
-  const auto labels = graph::labels_random_distinct(k, n, 2, cli.get_uint("seed"));
-  const auto placement = graph::make_placement(nodes, labels);
-
-  core::RunSpec spec;
-  const std::string algorithm = cli.get("algorithm");
-  if (algorithm == "faster") spec.algorithm = core::AlgorithmKind::FasterGathering;
-  else if (algorithm == "undispersed") spec.algorithm = core::AlgorithmKind::UndispersedOnly;
-  else if (algorithm == "uxs") spec.algorithm = core::AlgorithmKind::UxsOnly;
-  else throw support::CliError("unknown algorithm '" + algorithm + "'");
-
-  const std::string uxs_kind = cli.get("uxs");
-  if (uxs_kind == "covering") {
-    spec.config = core::make_config(g, uxs::make_covering_sequence(g, 7));
-  } else if (uxs_kind == "paper") {
-    spec.config = core::make_config(
-        g, uxs::make_pseudorandom_sequence(n, uxs::paper_length(n)));
-  } else if (uxs_kind == "practical") {
-    spec.config = core::make_config(
-        g, uxs::make_pseudorandom_sequence(n, uxs::practical_length(n)));
-  } else {
-    throw support::CliError("unknown --uxs '" + uxs_kind + "'");
-  }
-  if (cli.get_flag("delta-aware")) {
-    spec.config.delta_aware = true;
-    spec.config.known_delta = g.max_degree();
-  }
+  spec.labeling = cli.get("labeling");
+  spec.algorithm = cli.get("algorithm");
+  spec.sequence = cli.get("uxs");
+  spec.delta_aware = cli.get_flag("delta-aware");
   if (cli.provided("known-distance")) {
-    spec.config.known_min_pair_distance =
-        static_cast<int>(cli.get_int("known-distance"));
+    spec.known_min_pair_distance = static_cast<int>(cli.get_int("known-distance"));
   }
-
+  spec.seed = cli.get_uint("seed");
   spec.record_trace = cli.get_flag("timeline");
+  return spec;
+}
 
-  std::cout << "instance: n=" << n << " m=" << g.num_edges() << " k=" << k
+int run_sweep(const support::CliParser& cli) {
+  scenario::SweepSpec sweep;
+  sweep.base = base_spec(cli);
+  sweep.families = split_list(cli.get("families"));
+  sweep.sizes = split_sizes(cli.get("sizes"));
+  sweep.placements = split_list(cli.get("placements"));
+  sweep.algorithms = split_list(cli.get("algorithms"));
+  for (const std::string& rule : split_list(cli.get("k-rules"))) {
+    sweep.k_rules.push_back(scenario::parse_k_rule(rule));
+  }
+  for (const std::string& seed : split_list(cli.get("seeds"))) {
+    sweep.seeds.push_back(parse_uint_strict(seed, "seed"));
+  }
+  sweep.threads = static_cast<unsigned>(cli.get_uint("threads"));
+  // Cheap pre-filter on the REQUESTED n; families that round n (e.g.
+  // hypercube) can still reject k at resolve time, so infeasible points
+  // are additionally skipped rather than aborting the sweep.
+  sweep.filter = [](const scenario::ScenarioSpec& s) {
+    return s.k >= 2 && s.k <= s.n;
+  };
+  sweep.skip_infeasible = true;
+
+  const std::vector<scenario::SweepRow> rows = scenario::SweepRunner::run(sweep);
+  const std::string format = cli.get("format");
+  std::ofstream file;
+  std::ostream* os = &std::cout;
+  if (cli.provided("out")) {
+    file.open(cli.get("out"));
+    if (!file) throw support::CliError("cannot open --out file");
+    os = &file;
+  }
+  if (format == "csv") {
+    scenario::SweepRunner::write_csv(*os, rows);
+  } else if (format == "json") {
+    scenario::SweepRunner::write_json(*os, rows);
+  } else {
+    throw support::CliError("unknown --format '" + format + "' (csv|json)");
+  }
+  // enumerate() is cheap (no factories run); the difference is the
+  // number of points dropped as infeasible — never hide missing rows.
+  const std::size_t enumerated = scenario::SweepRunner::enumerate(sweep).size();
+  std::cerr << "sweep: " << rows.size() << " points";
+  if (enumerated > rows.size()) {
+    std::cerr << " (" << enumerated - rows.size()
+              << " infeasible points dropped)";
+  }
+  std::cerr << "\n";
+  return 0;
+}
+
+int run_single(const support::CliParser& cli) {
+  const scenario::ScenarioSpec spec = base_spec(cli);
+  const scenario::ResolvedScenario resolved = scenario::resolve(spec);
+
+  std::cout << "instance: n=" << resolved.realized_n;
+  // The 'file' family takes n from the file — there is no request.
+  if (resolved.realized_n != resolved.requested_n && spec.family != "file") {
+    std::cout << " (requested " << resolved.requested_n << ")";
+  }
+  std::cout << " m=" << resolved.graph.num_edges() << " k=" << spec.k
             << " min-pair-distance="
-            << (k >= 2 ? std::to_string(graph::min_pairwise_distance(
-                             g, graph::start_nodes(placement)))
-                       : std::string("-"))
+            << (spec.k >= 2 ? std::to_string(resolved.min_pair_distance)
+                            : std::string("-"))
             << "\n";
 
-  const core::RunOutcome out = core::run_gathering(g, placement, spec);
-  std::cout << "algorithm:         " << core::to_string(spec.algorithm) << "\n"
+  const core::RunOutcome out =
+      core::run_gathering(resolved.graph, resolved.placement, resolved.run_spec);
+  std::cout << "algorithm:         " << core::to_string(resolved.run_spec.algorithm)
+            << "\n"
             << "gathered:          " << std::boolalpha
             << out.result.gathered_at_end << "\n"
             << "detection correct: " << out.result.detection_correct << "\n"
@@ -124,13 +192,13 @@ int run(const support::CliParser& cli) {
   if (cli.provided("dot")) {
     std::ofstream dot(cli.get("dot"));
     const graph::NodeId gather_node = out.result.gather_node;
-    graph::write_dot(dot, g, &placement,
+    graph::write_dot(dot, resolved.graph, &resolved.placement,
                      out.result.gathered_at_end ? &gather_node : nullptr);
     std::cout << "wrote DOT to " << cli.get("dot") << "\n";
   }
   if (cli.provided("save-graph")) {
     std::ofstream gl(cli.get("save-graph"));
-    graph::write_edge_list(gl, g);
+    graph::write_edge_list(gl, resolved.graph);
     std::cout << "wrote edge list to " << cli.get("save-graph") << "\n";
   }
   return out.result.detection_correct ? 0 : 1;
@@ -140,23 +208,35 @@ int run(const support::CliParser& cli) {
 
 int main(int argc, char** argv) {
   support::CliParser cli;
-  cli.add_option("graph", "ring",
-                 "family: ring|path|complete|star|grid|torus|wheel|lollipop|"
-                 "barbell|tree|random");
+  cli.add_option("graph", "ring", "graph family (see --list)");
   cli.add_option("graph-file", "", "read an edge-list file instead");
-  cli.add_option("n", "12", "number of nodes (generator families)");
+  cli.add_option("params", "", "family params, e.g. rows=4,cols=5");
+  cli.add_option("n", "12", "requested node count (realized n is reported)");
   cli.add_option("k", "4", "number of robots");
-  cli.add_option("algorithm", "faster", "faster|undispersed|uxs");
-  cli.add_option("placement", "adversarial",
-                 "adversarial|dispersed|undispersed|one-node|pair");
-  cli.add_option("pair-distance", "2", "distance for --placement=pair");
-  cli.add_option("uxs", "covering", "covering|paper|practical");
+  cli.add_option("algorithm", "faster", "algorithm (see --list)");
+  cli.add_option("placement", "adversarial", "placement strategy (see --list)");
+  cli.add_option("placement-params", "", "placement params, e.g. distance=3");
+  cli.add_option("pair-distance", "2",
+                 "shorthand for --placement-params=distance=<d>");
+  cli.add_option("labeling", "random", "labeling strategy (see --list)");
+  cli.add_option("uxs", "covering", "sequence policy (see --list)");
   cli.add_option("known-distance", "-1", "Remark 13 hint (-1 = off)");
   cli.add_flag("delta-aware", "Remark 14: robots know the max degree");
   cli.add_option("seed", "42", "deterministic seed");
   cli.add_flag("timeline", "print per-stage movement analysis");
   cli.add_option("dot", "", "write instance+result as Graphviz DOT");
   cli.add_option("save-graph", "", "write the graph as an edge list");
+  cli.add_flag("list", "list every registry entry and exit");
+  cli.add_flag("sweep", "run a cartesian sweep instead of one instance");
+  cli.add_option("families", "", "sweep axis: comma-separated families");
+  cli.add_option("sizes", "", "sweep axis: comma-separated node counts");
+  cli.add_option("k-rules", "", "sweep axis: comma-separated k-rules");
+  cli.add_option("placements", "", "sweep axis: comma-separated placements");
+  cli.add_option("algorithms", "", "sweep axis: comma-separated algorithms");
+  cli.add_option("seeds", "", "sweep axis: comma-separated seeds");
+  cli.add_option("format", "csv", "sweep output: csv|json");
+  cli.add_option("out", "", "sweep output file (default stdout)");
+  cli.add_option("threads", "0", "sweep worker threads (0 = auto)");
   cli.add_flag("help", "show this help");
   try {
     cli.parse(argc, argv);
@@ -164,7 +244,11 @@ int main(int argc, char** argv) {
       std::cout << cli.usage("gather_cli");
       return 0;
     }
-    return run(cli);
+    if (cli.get_flag("list")) {
+      print_list(std::cout);
+      return 0;
+    }
+    return cli.get_flag("sweep") ? run_sweep(cli) : run_single(cli);
   } catch (const support::CliError& e) {
     std::cerr << "error: " << e.what() << "\n\n" << cli.usage("gather_cli");
     return 2;

@@ -1,0 +1,69 @@
+// The concrete registries behind ScenarioSpec: graph families, placement
+// strategies, labeling strategies, algorithms, and exploration-sequence
+// policies. Every generator in src/graph/generators.hpp is registered
+// here, so all families are reachable from the CLI and from sweeps by
+// name — adding a scenario axis is one `add()` call, not edits in every
+// harness.
+//
+// Single-knob sizing: family factories take the *requested* node count n
+// and derive their shape parameters from it (near-square grids/tori,
+// hypercube dimension, caterpillar spine). The realized node count may
+// differ (it is `graph.num_nodes()`); resolvers report it instead of
+// silently substituting — the seed harnesses' grid bug this layer fixes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/run.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/placement.hpp"
+#include "scenario/registry.hpp"
+#include "uxs/uxs.hpp"
+
+namespace gather::scenario {
+
+/// Builds the graph for (requested n, params, seed). Realized node count
+/// is the returned graph's; it may differ from n (see header comment).
+using FamilyFactory =
+    std::function<graph::Graph(std::size_t n, const Params&, std::uint64_t seed)>;
+
+/// Chooses k start nodes (with multiplicity) on g.
+using PlacementFactory = std::function<std::vector<graph::NodeId>(
+    const graph::Graph& g, std::size_t k, const Params&, std::uint64_t seed)>;
+
+/// Assigns k distinct labels from [1, n^b].
+using LabelingFactory = std::function<std::vector<graph::RobotLabel>(
+    std::size_t k, std::size_t n, unsigned b, std::uint64_t seed)>;
+
+/// Builds the exploration sequence all robots derive (§2.1's black box).
+using SequenceFactory =
+    std::function<uxs::SequencePtr(const graph::Graph& g, std::uint64_t seed)>;
+
+using GraphFamilyRegistry = Registry<FamilyFactory>;
+using PlacementRegistry = Registry<PlacementFactory>;
+using LabelingRegistry = Registry<LabelingFactory>;
+using AlgorithmRegistry = Registry<core::AlgorithmKind>;
+using SequenceRegistry = Registry<SequenceFactory>;
+
+/// The process-wide registries, populated with every built-in on first
+/// use; harnesses may add() their own entries on top.
+[[nodiscard]] GraphFamilyRegistry& graph_families();
+[[nodiscard]] PlacementRegistry& placements();
+[[nodiscard]] LabelingRegistry& labelings();
+[[nodiscard]] AlgorithmRegistry& algorithms();
+[[nodiscard]] SequenceRegistry& sequences();
+
+/// rows×cols for an n-node grid/torus with sides >= min_side: the divisor
+/// pair closest to square when one exists with aspect ratio <= 2,
+/// otherwise the smallest near-square cover of n (rows*cols >= n).
+/// Exposed for tests.
+struct GridDims {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+[[nodiscard]] GridDims near_square_dims(std::size_t n, std::size_t min_side);
+
+}  // namespace gather::scenario

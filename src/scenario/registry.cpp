@@ -1,0 +1,103 @@
+#include "scenario/registry.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gather::scenario {
+namespace {
+
+// Classic Levenshtein distance; names and keys are short, so the O(a·b)
+// table is trivial.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_uint(const std::string& text) {
+  if (text.empty() || text[0] < '0' || text[0] > '9') return std::nullopt;
+  std::size_t pos = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text, &pos);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (pos != text.size()) return std::nullopt;
+  return value;
+}
+
+std::uint64_t Params::get_uint(const std::string& key,
+                               std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::optional<std::uint64_t> value = parse_uint(it->second);
+  if (!value) {
+    throw ScenarioError("parameter '" + key + "' wants an unsigned integer, got '" +
+                        it->second + "'");
+  }
+  return *value;
+}
+
+Params Params::parse(const std::string& text) {
+  Params params;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(start, end - start);
+    if (!item.empty()) {
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw ScenarioError("malformed parameter '" + item +
+                            "' (want key=value)");
+      }
+      params.set(item.substr(0, eq), item.substr(eq + 1));
+    }
+    start = end + 1;
+  }
+  return params;
+}
+
+std::vector<std::string> suggest_names(const std::string& key,
+                                       const std::vector<std::string>& names) {
+  // A candidate is "close" within edit distance 2, or 1/3 of the key's
+  // length for longer keys (catches transpositions in long family names).
+  const std::size_t budget = std::max<std::size_t>(2, key.size() / 3);
+  std::vector<std::pair<std::size_t, std::string>> scored;
+  for (const std::string& name : names) {
+    const std::size_t d = edit_distance(key, name);
+    if (d <= budget) scored.emplace_back(d, name);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<std::string> out;
+  for (const auto& [d, name] : scored) out.push_back(name);
+  return out;
+}
+
+std::string unknown_key_message(const std::string& kind, const std::string& key,
+                                const std::vector<std::string>& names) {
+  std::string msg = "unknown " + kind + " '" + key + "'";
+  const std::vector<std::string> close = suggest_names(key, names);
+  if (!close.empty()) {
+    msg += " (did you mean '" + close.front() + "'?)";
+  }
+  msg += "; known: ";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) msg += ", ";
+    msg += names[i];
+  }
+  return msg;
+}
+
+}  // namespace gather::scenario

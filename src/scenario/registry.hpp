@@ -1,0 +1,160 @@
+// String-keyed registries — the declarative front door's vocabulary.
+//
+// A Registry maps a stable string key ("ring", "adversarial", "faster")
+// to a factory plus a parameter schema, so harnesses select workloads by
+// name instead of hard-coding dispatch chains. Unknown keys fail with
+// edit-distance candidate suggestions and the full list of known names,
+// which is what makes sweeps over user-supplied axes debuggable.
+//
+// Layer contract (umbrella for src/scenario/): the declarative scenario
+// layer — registries, ScenarioSpec resolution, and the parallel sweep
+// runner. Sits ABOVE core: may depend on src/{support,graph,sim,uxs,core}
+// and is depended on only by harnesses (tests/bench/examples). See
+// docs/ARCHITECTURE.md §1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gather::scenario {
+
+/// Strict unsigned parse shared by Params, k-rules, and the CLI: the
+/// whole token must be one digit run — no sign, whitespace, or suffix
+/// (std::stoull alone truncates "9x12" to 9 and wraps "-2" around).
+/// nullopt on any violation; callers attach their own context.
+[[nodiscard]] std::optional<std::uint64_t> parse_uint(const std::string& text);
+
+/// Thrown for unknown registry keys, unknown/malformed parameters, and
+/// unsatisfiable scenario specs. The message always names the offending
+/// key and, for lookups, the candidate suggestions.
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One recognized parameter of a registry entry, for validation + --list.
+struct ParamSpec {
+  std::string name;
+  std::string doc;
+  std::string default_value;  ///< human-readable; "" = derived/none
+};
+
+/// A small string->string parameter bag with typed accessors. Unset keys
+/// fall back to the caller's default; malformed values throw.
+class Params {
+ public:
+  Params() = default;
+
+  void set(const std::string& key, const std::string& value) {
+    values_[key] = value;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t get_uint(const std::string& key,
+                                       std::uint64_t fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return values_;
+  }
+
+  /// Parse "k1=v1,k2=v2" (empty string = no params).
+  [[nodiscard]] static Params parse(const std::string& text);
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// "did you mean 'x'?" candidates: names within a small edit distance of
+/// `key`, best first. Exposed for tests.
+[[nodiscard]] std::vector<std::string> suggest_names(
+    const std::string& key, const std::vector<std::string>& names);
+
+/// Compose the lookup-failure message: unknown <kind> '<key>' plus
+/// suggestions and the sorted list of known names.
+[[nodiscard]] std::string unknown_key_message(
+    const std::string& kind, const std::string& key,
+    const std::vector<std::string>& names);
+
+/// A string-keyed registry of factories with parameter schemas. Factory
+/// is whatever payload the concrete registry stores (a std::function for
+/// families/placements, a plain enum for algorithms).
+template <typename Factory>
+class Registry {
+ public:
+  struct Entry {
+    std::string name;
+    std::string doc;
+    std::vector<ParamSpec> params;
+    Factory factory;
+  };
+
+  /// `kind` names the registry in error messages ("graph family", ...).
+  explicit Registry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Register a factory; re-registering a name replaces it (so users can
+  /// override a built-in family in their own harness).
+  void add(const std::string& name, const std::string& doc,
+           std::vector<ParamSpec> params, Factory factory) {
+    entries_[name] = Entry{name, doc, std::move(params), std::move(factory)};
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return entries_.count(name) != 0;
+  }
+
+  /// Lookup; throws ScenarioError with candidate suggestions on miss.
+  [[nodiscard]] const Entry& get(const std::string& name) const {
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw ScenarioError(unknown_key_message(kind_, name, list()));
+    }
+    return it->second;
+  }
+
+  /// Sorted registered names (std::map iteration order).
+  [[nodiscard]] std::vector<std::string> list() const {
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) names.push_back(name);
+    return names;
+  }
+
+  [[nodiscard]] const std::map<std::string, Entry>& entries() const {
+    return entries_;
+  }
+
+  /// Reject params whose keys are not in `entry`'s schema; the error
+  /// suggests the nearest schema key.
+  void validate_params(const Entry& entry, const Params& params) const {
+    std::vector<std::string> known;
+    known.reserve(entry.params.size());
+    for (const ParamSpec& p : entry.params) known.push_back(p.name);
+    for (const auto& [key, value] : params.entries()) {
+      bool found = false;
+      for (const std::string& k : known) found = found || k == key;
+      if (!found) {
+        throw ScenarioError(unknown_key_message(
+            kind_ + " '" + entry.name + "' parameter", key, known));
+      }
+    }
+  }
+
+ private:
+  std::string kind_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace gather::scenario

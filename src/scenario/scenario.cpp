@@ -1,0 +1,57 @@
+#include "scenario/scenario.hpp"
+
+#include "graph/algorithms.hpp"
+#include "support/rng.hpp"
+
+namespace gather::scenario {
+
+std::uint64_t sub_seed(std::uint64_t seed, SeedAxis axis) {
+  return support::hash_combine(seed, static_cast<std::uint64_t>(axis));
+}
+
+ResolvedScenario resolve(const ScenarioSpec& spec) {
+  const auto& family = graph_families().get(spec.family);
+  graph_families().validate_params(family, spec.family_params);
+  const auto& placement = placements().get(spec.placement);
+  placements().validate_params(placement, spec.placement_params);
+  const auto& labeling = labelings().get(spec.labeling);
+  const auto& algorithm = algorithms().get(spec.algorithm);
+  const auto& sequence = sequences().get(spec.sequence);
+
+  ResolvedScenario r;
+  r.requested_n = spec.n;
+  r.graph = family.factory(spec.n, spec.family_params,
+                           sub_seed(spec.seed, SeedAxis::Graph));
+  r.realized_n = r.graph.num_nodes();
+
+  const std::vector<graph::NodeId> nodes =
+      placement.factory(r.graph, spec.k, spec.placement_params,
+                        sub_seed(spec.seed, SeedAxis::Placement));
+  const std::vector<graph::RobotLabel> labels =
+      labeling.factory(spec.k, r.realized_n, spec.id_exponent_b,
+                       sub_seed(spec.seed, SeedAxis::Labels));
+  r.placement = graph::make_placement(nodes, labels);
+  if (spec.k >= 2) {
+    r.min_pair_distance = graph::min_pairwise_distance(r.graph, nodes);
+  }
+
+  r.run_spec.algorithm = algorithm.factory;
+  r.run_spec.config = core::make_config(
+      r.graph,
+      sequence.factory(r.graph, sub_seed(spec.seed, SeedAxis::Sequence)));
+  r.run_spec.config.id_exponent_b = spec.id_exponent_b;
+  if (spec.delta_aware) {
+    r.run_spec.config.delta_aware = true;
+    r.run_spec.config.known_delta = r.graph.max_degree();
+  }
+  r.run_spec.config.known_min_pair_distance = spec.known_min_pair_distance;
+  r.run_spec.record_trace = spec.record_trace;
+  return r;
+}
+
+core::RunOutcome run_scenario(const ScenarioSpec& spec) {
+  const ResolvedScenario r = resolve(spec);
+  return core::run_gathering(r.graph, r.placement, r.run_spec);
+}
+
+}  // namespace gather::scenario

@@ -1,0 +1,82 @@
+// Declarative scenario description — the library's front door.
+//
+// A ScenarioSpec names every axis of one gathering instance by registry
+// key (family, placement, labeling, algorithm, sequence policy) plus the
+// scalar knobs (n, k, seed, the Remark 13/14 knowledge flags). resolve()
+// turns it into a runnable instance; run_scenario() runs it. Harnesses
+// that used to hand-roll string dispatch over generators/placements
+// (gather_cli, the bench binaries, property_sweep_test) now construct a
+// spec and let this layer do the lookup, validation, and seeding.
+//
+// Determinism: a spec fully determines its instance and outcome. The
+// single `seed` is split into independent per-axis streams (graph,
+// placement, labels, sequence) via support::hash_combine, so changing one
+// axis never perturbs another's randomness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/run.hpp"
+#include "graph/graph.hpp"
+#include "graph/placement.hpp"
+#include "scenario/registries.hpp"
+
+namespace gather::scenario {
+
+struct ScenarioSpec {
+  // ---- instance axes (registry keys) ----
+  std::string family = "ring";
+  Params family_params;
+  std::string placement = "adversarial";
+  Params placement_params;
+  std::string labeling = "random";
+  std::string algorithm = "faster";
+  std::string sequence = "covering";
+
+  // ---- scalar knobs ----
+  std::size_t n = 12;  ///< requested node count (realized may differ)
+  std::size_t k = 4;   ///< robot count
+  unsigned id_exponent_b = 2;
+  std::uint64_t seed = 42;
+
+  // ---- knowledge flags (the paper's remarks) ----
+  bool delta_aware = false;          ///< Remark 14: robots know Δ
+  int known_min_pair_distance = -1;  ///< Remark 13 hint (-1 = off)
+
+  bool record_trace = false;
+};
+
+/// A resolved, runnable instance. `realized_n == graph.num_nodes()`;
+/// when it differs from the request (hypercube rounding, near-square
+/// tori, parity-fixed regular graphs) harnesses must report it rather
+/// than pretend the requested n ran.
+struct ResolvedScenario {
+  graph::Graph graph;
+  graph::Placement placement;
+  core::RunSpec run_spec;
+  std::size_t requested_n = 0;
+  std::size_t realized_n = 0;
+  /// Minimum pairwise start distance (Lemma 15's quantity); 0 when k < 2.
+  std::uint32_t min_pair_distance = 0;
+};
+
+/// Look up every axis, validate parameters, and build the instance.
+/// Throws ScenarioError (with candidate suggestions) on unknown keys or
+/// unsatisfiable specs.
+[[nodiscard]] ResolvedScenario resolve(const ScenarioSpec& spec);
+
+/// resolve() + core::run_gathering() in one call.
+[[nodiscard]] core::RunOutcome run_scenario(const ScenarioSpec& spec);
+
+/// The per-axis sub-seed streams resolve() uses (exposed so harnesses
+/// that need one axis — e.g. a DOT export of just the graph — match it).
+enum class SeedAxis : std::uint64_t {
+  Graph = 0x67,
+  Placement = 0x70,
+  Labels = 0x6c,
+  Sequence = 0x75,
+};
+[[nodiscard]] std::uint64_t sub_seed(std::uint64_t seed, SeedAxis axis);
+
+}  // namespace gather::scenario

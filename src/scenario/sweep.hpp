@@ -1,0 +1,102 @@
+// Cartesian scenario sweeps with a parallel, deterministic runner.
+//
+// A SweepSpec is the declarative form of "the table in the paper": axes
+// (families × sizes × k-rules × placements × algorithms × seeds) over a
+// base ScenarioSpec, with an optional per-point filter. SweepRunner
+// enumerates the grid in a fixed documented order, executes every point
+// through support::parallel_for (each point is an independent seeded
+// simulation), and returns structured SweepRows in enumeration order —
+// so two executions of the same spec produce byte-identical CSV/JSON no
+// matter the thread count. Wall-clock timings are carried on the rows
+// for interactive display but deliberately excluded from CSV/JSON.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace gather::scenario {
+
+/// A named robot-count rule k(n) — the axis Theorem 16's regimes sweep.
+struct KRule {
+  std::string name;
+  std::function<std::size_t(std::size_t n)> k_of_n;
+};
+
+/// "k=<k>": constant robot count.
+[[nodiscard]] KRule k_fixed(std::size_t k);
+
+/// "n/<divisor>+<offset>" (clamped below by 2): the regime rules, e.g.
+/// k_fraction(2, 1) is Theorem 16 regime (i)'s floor(n/2)+1.
+[[nodiscard]] KRule k_fraction(std::size_t divisor, std::size_t offset);
+
+/// Parse a rule string: an integer ("5") or "n/D", "n/D+P", "n+P", "n".
+[[nodiscard]] KRule parse_k_rule(const std::string& text);
+
+struct SweepSpec {
+  /// Values for every non-axis field (labeling, sequence, flags, ...) and
+  /// the fallback when an axis below is left empty.
+  ScenarioSpec base;
+
+  std::vector<std::string> families;    ///< empty = {base.family}
+  std::vector<std::size_t> sizes;       ///< empty = {base.n}
+  std::vector<KRule> k_rules;           ///< empty = {k_fixed(base.k)}
+  std::vector<std::string> placements;  ///< empty = {base.placement}
+  std::vector<std::string> algorithms;  ///< empty = {base.algorithm}
+  std::vector<std::uint64_t> seeds;     ///< empty = {base.seed}
+
+  /// Per-point filter over the fully instantiated spec (n and k set);
+  /// return false to drop the point. Null = keep everything.
+  std::function<bool(const ScenarioSpec&)> filter;
+
+  /// When true, points whose factories reject the combination at
+  /// resolve time (e.g. k exceeds the REALIZED node count of a family
+  /// that rounds n, which no pre-filter on the requested n can see) are
+  /// dropped from the results instead of aborting the sweep. Registry
+  /// keys and parameter names are validated up front either way, so
+  /// typos always throw; if every point is infeasible, the first error
+  /// is rethrown rather than returning an empty sweep.
+  bool skip_infeasible = false;
+
+  /// Worker threads; 0 = support::default_thread_count().
+  unsigned threads = 0;
+};
+
+/// One grid point before execution.
+struct SweepPoint {
+  ScenarioSpec spec;
+  std::string k_rule;
+};
+
+/// One executed grid point. Everything except wall_seconds is a pure
+/// function of the point's spec.
+struct SweepRow {
+  ScenarioSpec spec;
+  std::string k_rule;
+  std::size_t realized_n = 0;
+  std::uint32_t min_pair_distance = 0;
+  core::RunOutcome outcome;
+  double wall_seconds = 0.0;  ///< excluded from CSV/JSON (nondeterministic)
+};
+
+class SweepRunner {
+ public:
+  /// Grid order (outer to inner): family, algorithm, placement, k-rule,
+  /// size, seed — so rows group the way regime tables read.
+  [[nodiscard]] static std::vector<SweepPoint> enumerate(const SweepSpec& spec);
+
+  /// Execute all points in parallel; rows come back in enumeration order.
+  /// A point whose resolution fails throws ScenarioError after workers
+  /// join — sweep specs are validated by running them.
+  [[nodiscard]] static std::vector<SweepRow> run(const SweepSpec& spec);
+
+  [[nodiscard]] static std::vector<std::string> csv_header();
+  static void write_csv(std::ostream& os, const std::vector<SweepRow>& rows);
+  static void write_json(std::ostream& os, const std::vector<SweepRow>& rows);
+};
+
+}  // namespace gather::scenario

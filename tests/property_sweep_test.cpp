@@ -2,8 +2,10 @@
 // robot counts, placements, and label assignments, Faster-Gathering must
 // always (a) gather, (b) detect — all robots terminate in the same round
 // on one node, (c) never terminate early, and (d) finish within the
-// schedule's hard cap. Runs are executed through the parallel sweep
-// executor to keep wall-clock time low.
+// schedule's hard cap. The family × placement grid is a declarative
+// scenario::SweepSpec over the registries (every registered family is
+// covered automatically as generators are added), executed through the
+// parallel SweepRunner to keep wall-clock time low.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -12,6 +14,7 @@
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/placement.hpp"
+#include "scenario/sweep.hpp"
 #include "support/parallel_for.hpp"
 #include "support/rng.hpp"
 #include "uxs/uxs.hpp"
@@ -19,81 +22,52 @@
 namespace gather::core {
 namespace {
 
-enum class PlacementStyle : int {
-  Dispersed = 0,
-  Undispersed = 1,
-  Adversarial = 2,
-  Clustered = 3,
-};
-
-struct Case {
-  std::string name;
-  graph::Graph graph;
-  graph::Placement placement;
-};
-
-std::vector<Case> build_cases(std::uint64_t seed) {
-  std::vector<Case> cases;
-  for (const auto& entry : graph::standard_test_suite(seed)) {
-    const graph::Graph& g = entry.graph;
-    const std::size_t n = g.num_nodes();
-    for (const PlacementStyle style :
-         {PlacementStyle::Dispersed, PlacementStyle::Undispersed,
-          PlacementStyle::Adversarial, PlacementStyle::Clustered}) {
-      const std::size_t k = std::max<std::size_t>(
-          2, (style == PlacementStyle::Adversarial) ? n / 2 + 1 : n / 3 + 1);
-      if (k > n) continue;
-      std::vector<graph::NodeId> nodes;
-      switch (style) {
-        case PlacementStyle::Dispersed:
-          nodes = graph::nodes_dispersed_random(g, k, seed);
-          break;
-        case PlacementStyle::Undispersed:
-          nodes = graph::nodes_undispersed_random(g, k, seed);
-          break;
-        case PlacementStyle::Adversarial:
-          nodes = graph::nodes_adversarial_spread(g, k, seed);
-          break;
-        case PlacementStyle::Clustered:
-          nodes = graph::nodes_clustered(g, k, std::max<std::size_t>(1, k / 2),
-                                         seed);
-          break;
-      }
-      const auto labels =
-          graph::labels_random_distinct(k, n, 2, seed + static_cast<int>(style));
-      cases.push_back(Case{
-          entry.name + "/style" + std::to_string(static_cast<int>(style)),
-          g, graph::make_placement(nodes, labels)});
-    }
-  }
-  return cases;
-}
-
 class FasterSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FasterSweep, AlwaysGathersWithSoundDetection) {
   const std::uint64_t seed = GetParam();
-  const std::vector<Case> cases = build_cases(seed);
-  std::vector<std::string> failures(cases.size());
-  support::parallel_for_index(
-      cases.size(), support::default_thread_count(), [&](std::size_t i) {
-        const Case& c = cases[i];
-        RunSpec spec;
-        spec.algorithm = AlgorithmKind::FasterGathering;
-        spec.config =
-            make_config(c.graph, uxs::make_covering_sequence(c.graph, seed));
-        const RunOutcome out = run_gathering(c.graph, c.placement, spec);
-        if (!out.result.all_terminated) failures[i] += "not all terminated; ";
-        if (!out.result.gathered_at_end) failures[i] += "not gathered; ";
-        if (!out.result.detection_correct) failures[i] += "detection unsound; ";
-        if (out.result.hit_round_cap) failures[i] += "hit round cap; ";
-        if (out.result.metrics.first_termination !=
-            out.result.metrics.last_termination) {
-          failures[i] += "termination rounds differ; ";
-        }
-      });
-  for (std::size_t i = 0; i < cases.size(); ++i) {
-    EXPECT_TRUE(failures[i].empty()) << cases[i].name << ": " << failures[i];
+  scenario::SweepSpec sweep;
+  sweep.base.algorithm = "faster";
+  sweep.base.sequence = "covering";
+  sweep.base.labeling = "random";
+  for (const std::string& family : scenario::graph_families().list()) {
+    if (family != "file") sweep.families.push_back(family);
+  }
+  sweep.sizes = {12, 16};
+  sweep.placements = {"dispersed", "undispersed", "adversarial", "clustered"};
+  // Both Theorem 16 robot regimes: the moderate n/3+1 and the
+  // many-robots n/2+1 (which forces a Lemma 15 close pair).
+  sweep.k_rules = {scenario::k_fraction(3, 1), scenario::k_fraction(2, 1)};
+  sweep.seeds = {seed};
+
+  std::vector<scenario::SweepRow> rows = scenario::SweepRunner::run(sweep);
+  const std::size_t grid_rows =
+      (scenario::graph_families().list().size() - 1) * 4 * 2 * 2;
+
+  // The 'random' default is sparse (m = 2n); add a dense slice too —
+  // edge-heavy maps stress Phase 1 differently than tree-like graphs.
+  scenario::SweepSpec dense = sweep;
+  dense.families = {"random"};
+  dense.sizes = {12};
+  dense.base.family_params.set("m", "40");
+  std::vector<scenario::SweepRow> dense_rows =
+      scenario::SweepRunner::run(dense);
+  EXPECT_EQ(dense_rows.size(), 4u * 2u);
+  rows.insert(rows.end(), std::make_move_iterator(dense_rows.begin()),
+              std::make_move_iterator(dense_rows.end()));
+
+  ASSERT_EQ(rows.size(), grid_rows + 4 * 2);
+  for (const scenario::SweepRow& row : rows) {
+    const std::string name = row.spec.family + "/" + row.spec.placement + "/n" +
+                             std::to_string(row.spec.n);
+    const auto& result = row.outcome.result;
+    EXPECT_TRUE(result.all_terminated) << name;
+    EXPECT_TRUE(result.gathered_at_end) << name;
+    EXPECT_TRUE(result.detection_correct) << name;
+    EXPECT_FALSE(result.hit_round_cap) << name;
+    EXPECT_EQ(result.metrics.first_termination,
+              result.metrics.last_termination)
+        << name;
   }
 }
 
