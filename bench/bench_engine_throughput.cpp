@@ -2,9 +2,17 @@
 // round throughput, the cost of follow-chain resolution, and the
 // effectiveness of event-driven skipping — what makes the Õ(n^5)
 // schedules simulable on a laptop.
+//
+// `--json=<path>` additionally writes the stable-schema BENCH_*.json
+// perf record (see bench_common.hpp): one row per benchmark, with
+// `rounds` = measured iterations and `wall_ms` = per-iteration real
+// time. The committed BENCH_engine.json tracks this binary across PRs.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "baselines/random_walk.hpp"
+#include "bench_common.hpp"
 #include "core/run.hpp"
 #include "graph/generators.hpp"
 #include "graph/placement.hpp"
@@ -123,7 +131,48 @@ void BM_FullFasterGathering(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFasterGathering)->Arg(8)->Arg(16)->Arg(32);
 
+/// Console reporter that also collects every run into a BenchJson row.
+class JsonTeeReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(bench::BenchJson& json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      // Plain measurement rows only: aggregate rows (_mean/_stddev/... under
+      // --benchmark_repetitions) carry statistics, not per-iteration times,
+      // and would pollute the stable-schema perf record.
+      if (run.run_type != Run::RT_Iteration) continue;
+      std::vector<std::pair<std::string, std::string>> params;
+      params.emplace_back("benchmark", run.benchmark_name());
+      for (const auto& [name, counter] : run.counters) {
+        std::ostringstream value;
+        value << counter.value;
+        params.emplace_back(name, value.str());
+      }
+      const double iters = run.iterations > 0
+                               ? static_cast<double>(run.iterations)
+                               : 1.0;
+      json_.add_row(std::move(params),
+                    static_cast<std::uint64_t>(run.iterations),
+                    run.real_accumulated_time / iters * 1e3);
+    }
+  }
+
+ private:
+  bench::BenchJson& json_;
+};
+
 }  // namespace
 }  // namespace gather
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = gather::bench::extract_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  gather::bench::BenchJson json("engine_throughput");
+  gather::JsonTeeReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return json.write_file(json_path) ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+# Build-time stamp: write gather_git_describe.h with the current
+# `git describe --always --dirty --tags` of SRC. Rewrites OUT only when
+# the string changed so dependents don't rebuild needlessly.
+execute_process(
+  COMMAND git describe --always --dirty --tags
+  WORKING_DIRECTORY ${SRC}
+  OUTPUT_VARIABLE GATHER_GIT_DESCRIBE
+  OUTPUT_STRIP_TRAILING_WHITESPACE
+  ERROR_QUIET
+  RESULT_VARIABLE GATHER_GIT_DESCRIBE_RC)
+if(NOT GATHER_GIT_DESCRIBE_RC EQUAL 0 OR GATHER_GIT_DESCRIBE STREQUAL "")
+  set(GATHER_GIT_DESCRIBE "unknown")
+endif()
+set(GATHER_GIT_STAMP_CONTENT
+    "#pragma once\n#define GATHER_GIT_DESCRIBE \"${GATHER_GIT_DESCRIBE}\"\n")
+set(GATHER_GIT_STAMP_OLD "")
+if(EXISTS ${OUT})
+  file(READ ${OUT} GATHER_GIT_STAMP_OLD)
+endif()
+if(NOT GATHER_GIT_STAMP_OLD STREQUAL GATHER_GIT_STAMP_CONTENT)
+  file(WRITE ${OUT} "${GATHER_GIT_STAMP_CONTENT}")
+endif()

@@ -49,7 +49,7 @@ void DessmarkTwoRobot::locate(sim::Round r, unsigned& stage, sim::Round& cycle,
 
 sim::Action DessmarkTwoRobot::on_round(const sim::RoundView& view) {
   // Meeting is gathering for two robots: detect and terminate.
-  for (const sim::RobotPublicState& s : *view.colocated) {
+  for (const sim::RobotPublicState& s : view.colocated) {
     if (s.id != id()) return sim::Action::terminate();
   }
 

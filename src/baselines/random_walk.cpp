@@ -9,7 +9,7 @@ RandomWalkRobot::RandomWalkRobot(sim::RobotId id, std::uint64_t seed)
 
 sim::Action RandomWalkRobot::on_round(const sim::RoundView& view) {
   sim::RobotId biggest = 0;
-  for (const sim::RobotPublicState& s : *view.colocated) {
+  for (const sim::RobotPublicState& s : view.colocated) {
     if (s.id != id() && s.tag != sim::StateTag::Terminated)
       biggest = std::max(biggest, s.id);
   }

@@ -35,7 +35,7 @@ struct BehaviorResult {
 [[nodiscard]] inline std::size_t count_others(const RoundView& view,
                                               RobotId self) {
   std::size_t count = 0;
-  for (const RobotPublicState& s : *view.colocated) {
+  for (const RobotPublicState& s : view.colocated) {
     if (s.id != self && s.tag != StateTag::Terminated) ++count;
   }
   return count;
@@ -44,7 +44,7 @@ struct BehaviorResult {
 /// Largest co-located robot id other than `self` (0 if none).
 [[nodiscard]] inline RobotId max_other_id(const RoundView& view, RobotId self) {
   RobotId best = 0;
-  for (const RobotPublicState& s : *view.colocated) {
+  for (const RobotPublicState& s : view.colocated) {
     if (s.id != self && s.tag != StateTag::Terminated) best = std::max(best, s.id);
   }
   return best;
@@ -55,7 +55,7 @@ struct BehaviorResult {
 [[nodiscard]] inline std::optional<RobotId> min_other_group_id(
     const RoundView& view, RobotId self) {
   std::optional<RobotId> best;
-  for (const RobotPublicState& s : *view.colocated) {
+  for (const RobotPublicState& s : view.colocated) {
     if (s.id == self || s.group_id == 0) continue;
     if (s.tag != StateTag::Finder && s.tag != StateTag::Helper) continue;
     if (!best || s.group_id < *best) best = s.group_id;
@@ -68,7 +68,7 @@ struct BehaviorResult {
 [[nodiscard]] inline std::optional<RobotPublicState> min_group_finder(
     const RoundView& view, RobotId self) {
   std::optional<RobotPublicState> best;
-  for (const RobotPublicState& s : *view.colocated) {
+  for (const RobotPublicState& s : view.colocated) {
     if (s.id == self || s.tag != StateTag::Finder) continue;
     if (!best || s.group_id < best->group_id ||
         (s.group_id == best->group_id && s.id < best->id)) {
@@ -80,7 +80,7 @@ struct BehaviorResult {
 
 /// True if a robot with the given id is co-located (and not terminated).
 [[nodiscard]] inline bool is_colocated(const RoundView& view, RobotId id) {
-  return std::any_of(view.colocated->begin(), view.colocated->end(),
+  return std::any_of(view.colocated.begin(), view.colocated.end(),
                      [id](const RobotPublicState& s) {
                        return s.id == id && s.tag != StateTag::Terminated;
                      });

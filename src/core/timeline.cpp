@@ -21,6 +21,20 @@ Timeline Timeline::from_trace(const std::vector<sim::TraceEvent>& trace,
     timeline.stages_.push_back(std::move(activity));
   }
   if (timeline.stages_.empty()) return timeline;
+
+  // Dense label space: rank-compress the labels that appear in the trace
+  // so per-stage counters are flat arrays of length #movers, independent
+  // of how sparse the label range [1, n^b] is.
+  timeline.labels_.reserve(trace.size());
+  for (const sim::TraceEvent& event : trace)
+    timeline.labels_.push_back(event.robot);
+  std::sort(timeline.labels_.begin(), timeline.labels_.end());
+  timeline.labels_.erase(
+      std::unique(timeline.labels_.begin(), timeline.labels_.end()),
+      timeline.labels_.end());
+  for (StageActivity& stage : timeline.stages_)
+    stage.moves_by_robot.assign(timeline.labels_.size(), 0);
+
   for (const sim::TraceEvent& event : trace) {
     // Stages are contiguous from round 0; find the owning stage.
     std::size_t idx = timeline.stages_.size() - 1;
@@ -33,12 +47,29 @@ Timeline Timeline::from_trace(const std::vector<sim::TraceEvent>& trace,
     }
     StageActivity& s = timeline.stages_[idx];
     ++s.moves;
-    ++s.moves_by_robot[event.robot];
+    const auto rank = static_cast<std::size_t>(
+        std::lower_bound(timeline.labels_.begin(), timeline.labels_.end(),
+                         event.robot) -
+        timeline.labels_.begin());
+    ++s.moves_by_robot[rank];
     if (s.first_move == sim::kNoRound) s.first_move = event.round;
     s.last_move = std::max(s.last_move == sim::kNoRound ? 0 : s.last_move,
                            event.round);
   }
   return timeline;
+}
+
+std::size_t StageActivity::active_robots() const noexcept {
+  std::size_t active = 0;
+  for (const std::uint64_t moves : moves_by_robot) active += moves > 0 ? 1 : 0;
+  return active;
+}
+
+std::uint64_t Timeline::moves_for(const StageActivity& stage,
+                                  sim::RobotId label) const {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  if (it == labels_.end() || *it != label) return 0;
+  return stage.moves_by_robot[static_cast<std::size_t>(it - labels_.begin())];
 }
 
 std::uint64_t Timeline::total_moves() const noexcept {
@@ -74,7 +105,7 @@ void Timeline::print(std::ostream& os) const {
          std::string("[") + TextTable::grouped(s.start) + ", " +
              TextTable::grouped(s.start + s.duration) + ")",
          TextTable::grouped(s.moves),
-         TextTable::num(std::uint64_t{s.moves_by_robot.size()}),
+         TextTable::num(std::uint64_t{s.active_robots()}),
          s.moves == 0 ? "-"
                       : TextTable::grouped(s.first_move) + "/" +
                             TextTable::grouped(s.last_move)});

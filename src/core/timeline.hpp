@@ -8,7 +8,6 @@
 #pragma once
 
 #include <iosfwd>
-#include <map>
 #include <vector>
 
 #include "core/schedule.hpp"
@@ -23,10 +22,17 @@ struct StageActivity {
   Round start = 0;
   Round duration = 0;
   std::uint64_t moves = 0;
-  /// Moves per robot label within this stage.
-  std::map<sim::RobotId, std::uint64_t> moves_by_robot;
+  /// Moves per robot within this stage — a dense vector indexed by the
+  /// robot's rank in Timeline::robot_labels() (raw labels are sparse in
+  /// [1, n^b], so stages index the dense rank space instead of paying a
+  /// node-based map or an O(max label) array). Same length for every
+  /// stage of one Timeline.
+  std::vector<std::uint64_t> moves_by_robot;
   sim::Round first_move = sim::kNoRound;
   sim::Round last_move = sim::kNoRound;
+
+  /// Number of robots with at least one move in this stage.
+  [[nodiscard]] std::size_t active_robots() const noexcept;
 };
 
 class Timeline {
@@ -40,6 +46,16 @@ class Timeline {
     return stages_;
   }
 
+  /// Sorted distinct labels of the robots that moved anywhere in the
+  /// trace; every stage's moves_by_robot is indexed by position here.
+  [[nodiscard]] const std::vector<sim::RobotId>& robot_labels() const noexcept {
+    return labels_;
+  }
+
+  /// Moves of `label` within `stage` (0 if that robot never moved).
+  [[nodiscard]] std::uint64_t moves_for(const StageActivity& stage,
+                                        sim::RobotId label) const;
+
   /// Total moves across all stages (== metrics.total_moves when the trace
   /// was not truncated by trace_limit).
   [[nodiscard]] std::uint64_t total_moves() const noexcept;
@@ -52,6 +68,7 @@ class Timeline {
 
  private:
   std::vector<StageActivity> stages_;
+  std::vector<sim::RobotId> labels_;
 };
 
 }  // namespace gather::core

@@ -31,7 +31,7 @@ void UndispersedBehavior::assign_role(const RoundView& view) {
   // and the rest are its helpers.
   RobotId min_id = self_;
   std::size_t present = 0;
-  for (const RobotPublicState& s : *view.colocated) {
+  for (const RobotPublicState& s : view.colocated) {
     if (s.tag == StateTag::Terminated) continue;
     ++present;
     min_id = std::min(min_id, s.id);
@@ -70,7 +70,7 @@ BehaviorResult UndispersedBehavior::finder_step(const RoundView& view) {
   if (r < phase2_) {
     // ---- Phase 1: map construction with the helper-group token ----------
     bool token_here = false;
-    for (const RobotPublicState& s : *view.colocated) {
+    for (const RobotPublicState& s : view.colocated) {
       if (s.id != self_ && s.tag == StateTag::Helper && s.group_id == self_) {
         token_here = true;
         break;

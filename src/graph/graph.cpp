@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace gather::graph {
 
@@ -36,24 +37,34 @@ Graph GraphBuilder::finish() {
 }
 
 Graph Graph::from_adjacency(std::vector<std::vector<HalfEdge>> adjacency) {
-  Graph g;
-  g.adjacency_ = std::move(adjacency);
-  g.max_degree_ = 0;
+  GATHER_EXPECTS(!adjacency.empty());
   std::size_t degree_sum = 0;
-  for (const auto& adj : g.adjacency_) {
-    degree_sum += adj.size();
-    g.max_degree_ = std::max(g.max_degree_,
-                             static_cast<std::uint32_t>(adj.size()));
-  }
+  for (const auto& adj : adjacency) degree_sum += adj.size();
   GATHER_EXPECTS(degree_sum % 2 == 0);
-  g.num_edges_ = degree_sum / 2;
+  GATHER_EXPECTS(degree_sum <=
+                 std::numeric_limits<std::uint32_t>::max());
+
+  // Compact into CSR: prefix-sum offsets, then one contiguous copy per
+  // node's port-ordered edge list.
+  Graph g;
+  g.offsets_.clear();  // drop the default empty-graph state {0}
+  g.offsets_.reserve(adjacency.size() + 1);
+  g.offsets_.push_back(0);
+  g.half_edges_.reserve(degree_sum);
+  g.max_degree_ = 0;
+  for (const auto& adj : adjacency) {
+    g.half_edges_.insert(g.half_edges_.end(), adj.begin(), adj.end());
+    g.offsets_.push_back(static_cast<std::uint32_t>(g.half_edges_.size()));
+    g.max_degree_ =
+        std::max(g.max_degree_, static_cast<std::uint32_t>(adj.size()));
+  }
   GATHER_ENSURES(validate(g));
   return g;
 }
 
 bool validate(const Graph& g) {
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    const auto& adj = g.neighbors(v);
+    const std::span<const HalfEdge> adj = g.neighbors(v);
     for (Port p = 0; p < adj.size(); ++p) {
       const HalfEdge h = adj[p];
       if (h.to >= g.num_nodes()) return false;

@@ -7,6 +7,13 @@
 // the robot algorithms never see them — the sim layer enforces that by
 // exposing only degrees, ports, and co-located robot messages.
 //
+// Memory layout: the graph is stored in CSR form — one flat HalfEdge
+// array ordered (node, port) plus a node-offset array — so traverse()
+// is two dependent loads into contiguous memory and neighbors() is a
+// span over one cache-resident stripe. The engine's round loop executes
+// millions of traversals per run; this layout is what keeps it
+// allocation-free and prefetch-friendly (see DESIGN.md "Memory layout").
+//
 // Layer contract (umbrella for src/graph/): the oracle-side substrate —
 // graph structure, generators, placements, classic algorithms, IO. May
 // depend only on src/support. Nothing in this layer is visible to robot
@@ -15,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "support/assert.hpp"
@@ -36,15 +44,25 @@ struct HalfEdge {
   friend bool operator==(const HalfEdge&, const HalfEdge&) = default;
 };
 
-/// Immutable port-labeled graph. Build with GraphBuilder.
+/// Immutable port-labeled graph in CSR form. Build with GraphBuilder.
+///
+/// `half_edges_[offsets_[v] + p]` is node v's half-edge at port p; ports
+/// are contiguous, so `degree(v) == offsets_[v+1] - offsets_[v]`.
 class Graph {
  public:
-  [[nodiscard]] std::size_t num_nodes() const noexcept { return adjacency_.size(); }
-  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+  /// Default state is the empty graph (0 nodes) until assigned.
+  Graph() : offsets_(1, 0) {}
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return half_edges_.size() / 2;
+  }
 
   [[nodiscard]] std::uint32_t degree(NodeId v) const {
-    GATHER_EXPECTS(v < adjacency_.size());
-    return static_cast<std::uint32_t>(adjacency_[v].size());
+    GATHER_EXPECTS(v < num_nodes());
+    return offsets_[v + 1] - offsets_[v];
   }
 
   /// The maximum degree Δ.
@@ -52,30 +70,47 @@ class Graph {
 
   /// Cross the edge at (v, port): returns the far node and its entry port.
   [[nodiscard]] HalfEdge traverse(NodeId v, Port port) const {
-    GATHER_EXPECTS(v < adjacency_.size());
-    GATHER_EXPECTS(port < adjacency_[v].size());
-    return adjacency_[v][port];
+    GATHER_EXPECTS(v < num_nodes());
+    GATHER_EXPECTS(port < offsets_[v + 1] - offsets_[v]);
+    return half_edges_[offsets_[v] + port];
   }
 
-  /// All half-edges out of v, indexed by port.
-  [[nodiscard]] const std::vector<HalfEdge>& neighbors(NodeId v) const {
-    GATHER_EXPECTS(v < adjacency_.size());
-    return adjacency_[v];
+  /// traverse() without the contract checks, for hot loops whose caller
+  /// has already validated (v, port) — e.g. the engine, which checks the
+  /// robot's chosen port against degree() before applying the move.
+  [[nodiscard]] HalfEdge traverse_unchecked(NodeId v, Port port) const {
+    return half_edges_[offsets_[v] + port];
   }
 
-  /// Construct directly from an adjacency-by-port table. Validates all
-  /// structural invariants (port symmetry, simplicity, no self-loops).
+  /// All half-edges out of v, indexed by port — one contiguous CSR stripe.
+  [[nodiscard]] std::span<const HalfEdge> neighbors(NodeId v) const {
+    GATHER_EXPECTS(v < num_nodes());
+    return {half_edges_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// The node-offset array (size num_nodes()+1, monotone, offsets_[0]==0).
+  /// Exposed for the CSR invariant tests; not part of the traversal API.
+  [[nodiscard]] const std::vector<std::uint32_t>& offsets() const noexcept {
+    return offsets_;
+  }
+
+  /// Construct from an adjacency-by-port table (compacted into CSR).
+  /// Validates all structural invariants (port symmetry, simplicity, no
+  /// self-loops).
   [[nodiscard]] static Graph from_adjacency(
       std::vector<std::vector<HalfEdge>> adjacency);
 
  private:
   friend class GraphBuilder;
-  std::vector<std::vector<HalfEdge>> adjacency_;
-  std::size_t num_edges_ = 0;
+  /// Flat half-edge array, ordered by (node, port).
+  std::vector<HalfEdge> half_edges_;
+  /// offsets_[v] = index of node v's port-0 half-edge; size num_nodes()+1.
+  std::vector<std::uint32_t> offsets_;
   std::uint32_t max_degree_ = 0;
 };
 
-/// Incremental builder; `finish()` validates port symmetry and simplicity.
+/// Incremental builder; `finish()` validates port symmetry and simplicity
+/// and compacts the per-node edge lists into the CSR arrays.
 class GraphBuilder {
  public:
   explicit GraphBuilder(std::size_t num_nodes);

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <ostream>
 
+#include "support/json.hpp"
 #include "support/parallel_for.hpp"
 
 namespace gather::scenario {
@@ -13,16 +14,6 @@ std::string params_cell(const Params& params) {
   for (const auto& [key, value] : params.entries()) {
     if (!out.empty()) out += ';';
     out += key + "=" + value;
-  }
-  return out;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
   }
   return out;
 }
@@ -262,7 +253,7 @@ void SweepRunner::write_json(std::ostream& os,
       if (numeric) {
         os << cells[i];
       } else {
-        os << '"' << json_escape(cells[i]) << '"';
+        os << '"' << support::json_escape(cells[i]) << '"';
       }
     }
     os << (r + 1 < rows.size() ? "},\n" : "}\n");

@@ -9,18 +9,24 @@ namespace gather::sim {
 
 namespace {
 
-/// FNV-1a accumulation of a 64-bit word into the trace hash.
+/// Accumulate a 64-bit word into the trace hash: xor-multiply-shift per
+/// word (FNV-1a's prime with a murmur-style fold). One multiply per word
+/// instead of FNV's eight byte steps — the hash runs three times per
+/// move, so it is on the round loop's critical path. Only equality of
+/// fingerprints matters (skip vs naive, rerun determinism); the exact
+/// constant is not part of any contract.
 void hash_word(std::uint64_t& h, std::uint64_t w) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (w >> (8 * i)) & 0xffULL;
-    h *= 1099511628211ULL;
-  }
+  h ^= w;
+  h *= 1099511628211ULL;
+  h ^= h >> 47;
 }
 
 }  // namespace
 
 Engine::Engine(const graph::Graph& graph, EngineConfig config)
-    : graph_(graph), config_(config), occupants_(graph.num_nodes()) {
+    : graph_(graph),
+      config_(config),
+      occ_head_(graph.num_nodes(), kNoSlot) {
   GATHER_EXPECTS(config_.hard_cap > 0);
 }
 
@@ -28,40 +34,60 @@ void Engine::add_robot(std::unique_ptr<Robot> robot, NodeId start) {
   GATHER_EXPECTS(!ran_);
   GATHER_EXPECTS(robot != nullptr);
   GATHER_EXPECTS(start < graph_.num_nodes());
+  GATHER_EXPECTS(robots_.size() < static_cast<std::size_t>(kNoSlot));
   const RobotId id = robot->id();
   GATHER_EXPECTS(id >= 1);
-  GATHER_EXPECTS(index_of_.find(id) == index_of_.end());
-  const std::size_t slot = slots_.size();
-  slots_.push_back(Slot{});
-  slots_[slot].robot = std::move(robot);
-  slots_[slot].pos = start;
-  index_of_.emplace(id, slot);
+  const auto it = std::lower_bound(
+      slots_by_id_.begin(), slots_by_id_.end(), id,
+      [this](std::uint32_t s, RobotId target) { return ids_[s] < target; });
+  GATHER_EXPECTS(it == slots_by_id_.end() || ids_[*it] != id);
+
+  const auto slot = static_cast<std::uint32_t>(robots_.size());
+  robots_.push_back(std::move(robot));
+  ids_.push_back(id);
+  pos_.push_back(start);
+  entry_port_.push_back(kNoPort);
+  wake_.push_back(0);
+  active_stamp_.push_back(kNoRound);
+  move_count_.push_back(0);
+  terminated_.push_back(0);
+  occ_next_.push_back(kNoSlot);
+  slots_by_id_.insert(it, slot);
+
   occupants_insert(start, slot);
   heap_push(0, slot);
 }
 
-NodeId Engine::position_of(RobotId id) const { return slots_[index_of(id)].pos; }
+NodeId Engine::position_of(RobotId id) const { return pos_[slot_of(id)]; }
 
-std::size_t Engine::index_of(RobotId id) const {
-  const auto it = index_of_.find(id);
-  GATHER_EXPECTS(it != index_of_.end());
-  return it->second;
+std::uint32_t Engine::find_slot(RobotId id) const {
+  const auto it = std::lower_bound(
+      slots_by_id_.begin(), slots_by_id_.end(), id,
+      [this](std::uint32_t s, RobotId target) { return ids_[s] < target; });
+  if (it == slots_by_id_.end() || ids_[*it] != id) return kNoSlot;
+  return *it;
 }
 
-void Engine::heap_push(Round round, std::size_t slot) {
-  slots_[slot].wake = round;
+std::uint32_t Engine::slot_of(RobotId id) const {
+  const std::uint32_t slot = find_slot(id);
+  GATHER_EXPECTS(slot != kNoSlot);
+  return slot;
+}
+
+void Engine::heap_push(Round round, std::uint32_t slot) {
+  wake_[slot] = round;
   heap_.emplace_back(round, slot);
   std::push_heap(heap_.begin(), heap_.end(),
-                 std::greater<std::pair<Round, std::size_t>>{});
+                 std::greater<std::pair<Round, std::uint32_t>>{});
 }
 
 bool Engine::heap_pop_next(Round& round) {
   // Pop stale entries (slot terminated, or wake was moved earlier/later).
   while (!heap_.empty()) {
     const auto [r, slot] = heap_.front();
-    if (slots_[slot].terminated || slots_[slot].wake != r) {
+    if (terminated_[slot] != 0 || wake_[slot] != r) {
       std::pop_heap(heap_.begin(), heap_.end(),
-                    std::greater<std::pair<Round, std::size_t>>{});
+                    std::greater<std::pair<Round, std::uint32_t>>{});
       heap_.pop_back();
       continue;
     }
@@ -71,49 +97,57 @@ bool Engine::heap_pop_next(Round& round) {
   return false;
 }
 
-void Engine::occupants_insert(NodeId node, std::size_t slot) {
-  auto& list = occupants_[node];
-  const RobotId id = slots_[slot].robot->id();
-  const auto it = std::lower_bound(
-      list.begin(), list.end(), id, [this](std::size_t s, RobotId target) {
-        return slots_[s].robot->id() < target;
-      });
-  list.insert(it, slot);
+void Engine::occupants_insert(NodeId node, std::uint32_t slot) {
+  // Splice into the node's list keeping label order (views are sorted).
+  const RobotId id = ids_[slot];
+  std::uint32_t* link = &occ_head_[node];
+  while (*link != kNoSlot && ids_[*link] < id) link = &occ_next_[*link];
+  occ_next_[slot] = *link;
+  *link = slot;
 }
 
-void Engine::occupants_erase(NodeId node, std::size_t slot) {
-  auto& list = occupants_[node];
-  const auto it = std::find(list.begin(), list.end(), slot);
-  GATHER_INVARIANT(it != list.end());
-  list.erase(it);
+void Engine::occupants_erase(NodeId node, std::uint32_t slot) {
+  std::uint32_t* link = &occ_head_[node];
+  while (*link != kNoSlot && *link != slot) link = &occ_next_[*link];
+  GATHER_INVARIANT(*link == slot);
+  *link = occ_next_[slot];
+  occ_next_[slot] = kNoSlot;
 }
 
 bool Engine::all_colocated() const {
-  if (slots_.empty()) return true;
-  const NodeId node = slots_.front().pos;
-  return std::all_of(slots_.begin(), slots_.end(),
-                     [node](const Slot& s) { return s.pos == node; });
+  if (pos_.empty()) return true;
+  const NodeId node = pos_.front();
+  return std::all_of(pos_.begin(), pos_.end(),
+                     [node](NodeId p) { return p == node; });
 }
 
 RunResult Engine::run() {
   GATHER_EXPECTS(!ran_);
-  GATHER_EXPECTS(!slots_.empty());
+  GATHER_EXPECTS(!robots_.empty());
   ran_ = true;
 
   RunResult result;
   auto& m = result.metrics;
-  m.moves_per_robot.assign(slots_.size(), 0);
+  const std::size_t num_slots = robots_.size();
+  m.moves_per_robot.assign(num_slots, 0);
 
-  // Size the reusable per-round scratch buffers.
-  decisions_.assign(slots_.size(), Action{});
-  decision_stamp_.assign(slots_.size(), kNoRound);
-  resolved_.assign(slots_.size(), Action{});
-  resolved_stamp_.assign(slots_.size(), kNoRound);
-  resolve_mark_.assign(slots_.size(), 0);
+  // Size the reusable per-round scratch buffers — the last allocations
+  // before the round loop.
+  decisions_.assign(num_slots, Action{});
+  decision_stamp_.assign(num_slots, kNoRound);
+  resolved_.assign(num_slots, Action{});
+  resolved_stamp_.assign(num_slots, kNoRound);
+  resolve_mark_.assign(num_slots, 0);
+  view_arena_.resize(num_slots);
+  views_.resize(num_slots);
+  node_view_.assign(graph_.num_nodes(), 0);
+  node_view_stamp_.assign(graph_.num_nodes(), kNoRound);
+  active_.reserve(num_slots);
+  touched_nodes_.reserve(2 * num_slots);
+  heap_.reserve(4 * num_slots);
 
-  std::size_t alive = slots_.size();
+  std::size_t alive = num_slots;
   Round r = 0;
-  std::vector<std::size_t> active;
   bool first_round = true;
 
   while (alive > 0) {
@@ -134,37 +168,42 @@ RunResult Engine::run() {
     }
 
     // ---- collect this round's active robots -----------------------------
-    active.clear();
+    active_.clear();
     if (config_.naive_stepping) {
-      for (std::size_t s = 0; s < slots_.size(); ++s) {
-        if (!slots_[s].terminated) active.push_back(s);
+      for (std::uint32_t s = 0; s < num_slots; ++s) {
+        if (terminated_[s] == 0) active_.push_back(s);
       }
     } else {
-      // Drain every heap entry scheduled at round r (dedupe via stamp).
+      // Drain every heap entry scheduled at round r (dedupe via stamp),
+      // then collect the stamped slots with one ordered scan — cheaper
+      // than sorting and independent of how the heap interleaved them.
+      bool any = false;
       for (;;) {
         Round next = 0;
         if (!heap_pop_next(next) || next != r) break;
-        const std::size_t slot = heap_.front().second;
+        const std::uint32_t slot = heap_.front().second;
         std::pop_heap(heap_.begin(), heap_.end(),
-                      std::greater<std::pair<Round, std::size_t>>{});
+                      std::greater<std::pair<Round, std::uint32_t>>{});
         heap_.pop_back();
-        if (slots_[slot].active_stamp != r) {
-          slots_[slot].active_stamp = r;
-          active.push_back(slot);
+        active_stamp_[slot] = r;
+        any = true;
+      }
+      if (any) {
+        for (std::uint32_t s = 0; s < num_slots; ++s) {
+          if (active_stamp_[s] == r) active_.push_back(s);
         }
       }
-      std::sort(active.begin(), active.end());
     }
-    GATHER_INVARIANT(!active.empty());
+    GATHER_INVARIANT(!active_.empty());
 
-    const std::size_t movers = simulate_round(r, active, result);
+    const std::size_t movers = simulate_round(r, result);
 
     // ---- post-round bookkeeping -----------------------------------------
     m.rounds = r;
     ++m.simulated_rounds;
     alive = 0;
-    for (const Slot& s : slots_)
-      if (!s.terminated) ++alive;
+    for (std::uint32_t s = 0; s < num_slots; ++s)
+      if (terminated_[s] == 0) ++alive;
     if ((movers > 0 || m.simulated_rounds == 1) &&
         m.first_gathered == kNoRound && all_colocated()) {
       m.first_gathered = r;
@@ -175,31 +214,40 @@ RunResult Engine::run() {
 
   result.all_terminated = (alive == 0);
   result.gathered_at_end = all_colocated();
-  if (result.gathered_at_end) result.gather_node = slots_.front().pos;
+  if (result.gathered_at_end) result.gather_node = pos_.front();
   result.detection_correct =
       result.all_terminated &&
       m.first_termination == m.last_termination &&
       result.gathered_at_end;
-  for (const Slot& s : slots_) m.total_moves += s.moves;
-  for (std::size_t s = 0; s < slots_.size(); ++s)
-    m.moves_per_robot[s] = slots_[s].moves;
+  for (std::uint32_t s = 0; s < num_slots; ++s) {
+    m.total_moves += move_count_[s];
+    m.moves_per_robot[s] = move_count_[s];
+  }
   return result;
 }
 
-const std::vector<RobotPublicState>& Engine::view_for(NodeId node) {
-  for (std::size_t i = 0; i < views_used_; ++i) {
-    if (view_pool_[i].node == node) return view_pool_[i].snapshot;
+std::span<const RobotPublicState> Engine::view_for(NodeId node, Round r) {
+  if (node_view_stamp_[node] == r) {
+    const ViewRef ref = views_[node_view_[node]];
+    return {view_arena_.data() + ref.begin, ref.size};
   }
-  if (views_used_ == view_pool_.size()) view_pool_.emplace_back();
-  ViewSlot& slot = view_pool_[views_used_++];
-  slot.node = node;
-  slot.snapshot.clear();
-  for (const std::size_t occ : occupants_[node])
-    slot.snapshot.push_back(slots_[occ].robot->public_state());
-  return slot.snapshot;
+  // Materialize the node's snapshot at the arena's write head. Capacity
+  // is exact (each robot sits at one node), so no reallocation — spans
+  // handed to robots stay valid for the whole round.
+  const auto begin = static_cast<std::uint32_t>(arena_used_);
+  for (std::uint32_t occ = occ_head_[node]; occ != kNoSlot;
+       occ = occ_next_[occ]) {
+    GATHER_INVARIANT(arena_used_ < view_arena_.size());
+    view_arena_[arena_used_++] = robots_[occ]->public_state();
+  }
+  const ViewRef ref{begin, static_cast<std::uint32_t>(arena_used_) - begin};
+  views_[views_used_] = ref;
+  node_view_[node] = static_cast<std::uint32_t>(views_used_++);
+  node_view_stamp_[node] = r;
+  return {view_arena_.data() + ref.begin, ref.size};
 }
 
-Action Engine::resolve_action(std::size_t s, Round r) {
+Action Engine::resolve_action(std::uint32_t s, Round r) {
   // Concrete (non-Follow) action for slot s this round; sleeping robots
   // implicitly Stay until their wake deadline. Iterative chain walk with
   // cycle detection via resolve_mark_.
@@ -211,14 +259,14 @@ Action Engine::resolve_action(std::size_t s, Round r) {
   Action out;
   if (decision_stamp_[s] != r) {
     // Sleeping robot: implied promise is Stay until its wake deadline.
-    out = Action::stay_until_round(slots_[s].wake);
+    out = Action::stay_until_round(wake_[s]);
   } else if (decisions_[s].kind != ActionKind::Follow) {
     out = decisions_[s];
   } else {
-    const std::size_t leader = index_of(decisions_[s].leader);
-    if (slots_[leader].pos != slots_[s].pos)
+    const std::uint32_t leader = slot_of(decisions_[s].leader);
+    if (pos_[leader] != pos_[s])
       throw ContractViolation("robot follows non-co-located leader");
-    if (slots_[leader].terminated)
+    if (terminated_[leader] != 0)
       throw ContractViolation("robot follows terminated leader");
     const Action leader_action = resolve_action(leader, r);
     switch (leader_action.kind) {
@@ -244,64 +292,61 @@ Action Engine::resolve_action(std::size_t s, Round r) {
   return out;
 }
 
-std::size_t Engine::simulate_round(Round r, std::vector<std::size_t>& active,
-                                   RunResult& result) {
+std::size_t Engine::simulate_round(Round r, RunResult& result) {
   auto& m = result.metrics;
 
   // ---- build communication views (per node hosting an active robot) ----
   // Views snapshot the public states as of the END of the previous round;
   // they are materialized before any on_round call so that decisions are
-  // simultaneous.
+  // simultaneous. One arena pass; views_used_/arena_used_ reset here.
   views_used_ = 0;
-  for (const std::size_t s : active) (void)view_for(slots_[s].pos);
+  arena_used_ = 0;
+  for (const std::uint32_t s : active_) (void)view_for(pos_[s], r);
 
   // ---- decisions --------------------------------------------------------
-  for (const std::size_t s : active) {
-    Slot& slot = slots_[s];
+  for (const std::uint32_t s : active_) {
     RoundView view;
     view.round = r;
-    view.degree = graph_.degree(slot.pos);
-    view.entry_port = slot.entry_port;
-    view.colocated = &view_for(slot.pos);
-    const RobotId self = slot.robot->id();
-    for (const RobotPublicState& other : *view.colocated) {
+    view.degree = graph_.degree(pos_[s]);
+    view.entry_port = entry_port_[s];
+    view.colocated = view_for(pos_[s], r);
+    const RobotId self = ids_[s];
+    for (const RobotPublicState& other : view.colocated) {
       if (other.id == self) continue;
       m.total_message_bits += support::bit_width_u64(other.id) +
                               support::bit_width_u64(other.group_id) + 3;
     }
-    decisions_[s] = slot.robot->on_round(view);
+    decisions_[s] = robots_[s]->on_round(view);
     decision_stamp_[s] = r;
     ++m.decision_calls;
   }
 
   // ---- resolve follow chains ---------------------------------------------
-  for (const std::size_t s : active) (void)resolve_action(s, r);
+  for (const std::uint32_t s : active_) (void)resolve_action(s, r);
 
   // ---- apply moves and terminations simultaneously ----------------------
   std::size_t movers = 0;
-  std::vector<NodeId>& touched_nodes = touched_nodes_;
-  touched_nodes.clear();
-  for (const std::size_t s : active) {
-    Slot& slot = slots_[s];
+  touched_nodes_.clear();
+  for (const std::uint32_t s : active_) {
     const Action action = resolved_[s];
     switch (action.kind) {
       case ActionKind::Move: {
-        GATHER_EXPECTS(action.port < graph_.degree(slot.pos));
-        const NodeId from = slot.pos;
-        const graph::HalfEdge h = graph_.traverse(from, action.port);
+        GATHER_EXPECTS(action.port < graph_.degree(pos_[s]));
+        const NodeId from = pos_[s];
+        const graph::HalfEdge h = graph_.traverse_unchecked(from, action.port);
         occupants_erase(from, s);
         occupants_insert(h.to, s);
-        slot.pos = h.to;
-        slot.entry_port = h.to_port;
-        ++slot.moves;
+        pos_[s] = h.to;
+        entry_port_[s] = h.to_port;
+        ++move_count_[s];
         ++movers;
-        touched_nodes.push_back(from);
-        touched_nodes.push_back(h.to);
+        touched_nodes_.push_back(from);
+        touched_nodes_.push_back(h.to);
         hash_word(m.trace_hash, r);
-        hash_word(m.trace_hash, slot.robot->id());
+        hash_word(m.trace_hash, ids_[s]);
         hash_word(m.trace_hash, (static_cast<std::uint64_t>(from) << 32) | h.to);
         if (config_.record_trace && trace_.size() < config_.trace_limit) {
-          trace_.push_back(TraceEvent{r, slot.robot->id(), from, h.to});
+          trace_.push_back(TraceEvent{r, ids_[s], from, h.to});
         }
         if (!config_.naive_stepping) heap_push(r + 1, s);
         break;
@@ -313,12 +358,12 @@ std::size_t Engine::simulate_round(Round r, std::vector<std::size_t>& active,
         break;
       }
       case ActionKind::Terminate: {
-        slot.terminated = true;
-        slot.robot->mark_terminated();
+        terminated_[s] = 1;
+        robots_[s]->mark_terminated();
         if (m.first_termination == kNoRound) m.first_termination = r;
         m.last_termination = r;
         hash_word(m.trace_hash, ~r);
-        hash_word(m.trace_hash, slot.robot->id());
+        hash_word(m.trace_hash, ids_[s]);
         break;
       }
       case ActionKind::Follow:
@@ -329,13 +374,15 @@ std::size_t Engine::simulate_round(Round r, std::vector<std::size_t>& active,
 
   // ---- occupancy-change wakeups ------------------------------------------
   if (!config_.naive_stepping) {
-    std::sort(touched_nodes.begin(), touched_nodes.end());
-    touched_nodes.erase(std::unique(touched_nodes.begin(), touched_nodes.end()),
-                        touched_nodes.end());
-    for (const NodeId node : touched_nodes) {
-      for (const std::size_t occ : occupants_[node]) {
-        if (slots_[occ].terminated) continue;
-        if (slots_[occ].wake > r + 1) heap_push(r + 1, occ);
+    std::sort(touched_nodes_.begin(), touched_nodes_.end());
+    touched_nodes_.erase(
+        std::unique(touched_nodes_.begin(), touched_nodes_.end()),
+        touched_nodes_.end());
+    for (const NodeId node : touched_nodes_) {
+      for (std::uint32_t occ = occ_head_[node]; occ != kNoSlot;
+           occ = occ_next_[occ]) {
+        if (terminated_[occ] != 0) continue;
+        if (wake_[occ] > r + 1) heap_push(r + 1, occ);
       }
     }
   }

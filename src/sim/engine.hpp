@@ -18,6 +18,19 @@
 //    is what makes them simulable. `naive_stepping` disables all of this
 //    for the equivalence tests.
 //
+// Memory layout (see DESIGN.md "Memory layout"): per-robot state lives in
+// flat structure-of-arrays buffers indexed by *slot* (the dense index
+// assigned by add_robot, in insertion order); robot labels are looked up
+// through a sorted slot array (binary search — no hash map anywhere).
+// Node occupancy is an intrusive singly-linked list (per-node head + a
+// per-slot next link, kept sorted by label) updated in place on moves,
+// and the per-round communication views live in one contiguous arena
+// stamped by round. After run() sizes the scratch buffers, the view,
+// occupancy, decision, and active-set machinery never allocates in the
+// round loop; the one amortized exception is the wake heap, which grows
+// past its reserve only when stale entries pile up faster than they are
+// popped.
+//
 // Layer contract (umbrella for src/sim/): the execution model and the
 // robot/oracle boundary. The engine holds the whole-graph view; robots
 // implement sim::Robot and observe only the RoundView it hands them
@@ -27,7 +40,7 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -78,58 +91,77 @@ class Engine {
   }
 
  private:
-  struct Slot {
-    std::unique_ptr<Robot> robot;
-    NodeId pos = 0;
-    Port entry_port = kNoPort;
-    Round wake = 0;
-    bool terminated = false;
-    std::uint64_t moves = 0;
-    Round active_stamp = kNoRound;  ///< dedupe marker for the active set
-  };
+  /// Slot sentinel ("null" link / failed lookup).
+  static constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
 
   const graph::Graph& graph_;
   EngineConfig config_;
-  std::vector<Slot> slots_;
-  std::unordered_map<RobotId, std::size_t> index_of_;
-  /// occupants_[node] = slot indices at node, sorted by robot id.
-  std::vector<std::vector<std::size_t>> occupants_;
+
+  // ---- flat per-slot state (SoA), indexed by add_robot order -----------
+  std::vector<std::unique_ptr<Robot>> robots_;  ///< cold: ownership + vtable
+  std::vector<RobotId> ids_;                    ///< hot copy of the labels
+  std::vector<NodeId> pos_;
+  std::vector<Port> entry_port_;
+  std::vector<Round> wake_;
+  std::vector<Round> active_stamp_;  ///< dedupe marker for the active set
+  std::vector<std::uint64_t> move_count_;
+  std::vector<std::uint8_t> terminated_;
+
+  /// Slot indices sorted by label — the label→slot index (binary search;
+  /// labels are sparse in [1, n^b], so no direct-indexed table).
+  std::vector<std::uint32_t> slots_by_id_;
+
+  // ---- node occupancy: intrusive lists sorted by label ------------------
+  std::vector<std::uint32_t> occ_head_;  ///< per node: first slot or kNoSlot
+  std::vector<std::uint32_t> occ_next_;  ///< per slot: next slot or kNoSlot
+
   /// Lazy min-heap of (wake_round, slot); entries may be stale.
-  std::vector<std::pair<Round, std::size_t>> heap_;
+  std::vector<std::pair<Round, std::uint32_t>> heap_;
   std::vector<TraceEvent> trace_;
   bool ran_ = false;
 
-  // Reusable per-round scratch buffers (indexed by slot, stamped by
-  // round) — the round loop runs millions of times, so it must not
-  // allocate. Views are keyed by the handful of nodes active this round.
-  struct ViewSlot {
-    NodeId node = 0;
-    std::vector<RobotPublicState> snapshot;
+  // ---- per-round scratch, sized once in run() ---------------------------
+  // The round loop runs millions of times, so it must not allocate. All
+  // buffers are stamped by round; the view arena holds every materialized
+  // snapshot of the round back to back (each robot appears in exactly one
+  // node's view, so slot-count capacity is exact).
+  std::vector<RobotPublicState> view_arena_;
+  struct ViewRef {
+    std::uint32_t begin = 0;
+    std::uint32_t size = 0;
   };
-  std::vector<ViewSlot> view_pool_;
+  std::vector<ViewRef> views_;
+  std::vector<std::uint32_t> node_view_;  ///< per node: index into views_
+  std::vector<Round> node_view_stamp_;    ///< per node: round of validity
   std::size_t views_used_ = 0;
+  std::size_t arena_used_ = 0;
+
   std::vector<Action> decisions_;
   std::vector<Round> decision_stamp_;
   std::vector<Action> resolved_;
   std::vector<Round> resolved_stamp_;
   std::vector<std::uint8_t> resolve_mark_;
   std::vector<NodeId> touched_nodes_;
+  std::vector<std::uint32_t> active_;
 
-  [[nodiscard]] const std::vector<RobotPublicState>& view_for(NodeId node);
-  Action resolve_action(std::size_t slot, Round r);
+  [[nodiscard]] std::span<const RobotPublicState> view_for(NodeId node,
+                                                           Round r);
+  Action resolve_action(std::uint32_t slot, Round r);
 
-  void heap_push(Round round, std::size_t slot);
+  void heap_push(Round round, std::uint32_t slot);
   [[nodiscard]] bool heap_pop_next(Round& round);
 
-  void occupants_insert(NodeId node, std::size_t slot);
-  void occupants_erase(NodeId node, std::size_t slot);
+  void occupants_insert(NodeId node, std::uint32_t slot);
+  void occupants_erase(NodeId node, std::uint32_t slot);
 
-  [[nodiscard]] std::size_t index_of(RobotId id) const;
+  /// Label lookup; kNoSlot when no robot has this label.
+  [[nodiscard]] std::uint32_t find_slot(RobotId id) const;
+  /// Label lookup; contract violation when no robot has this label.
+  [[nodiscard]] std::uint32_t slot_of(RobotId id) const;
   [[nodiscard]] bool all_colocated() const;
 
-  /// Execute one round; returns the number of robots that moved.
-  std::size_t simulate_round(Round r, std::vector<std::size_t>& active,
-                             RunResult& result);
+  /// Execute one round over active_; returns the number of robots moved.
+  std::size_t simulate_round(Round r, RunResult& result);
 };
 
 }  // namespace gather::sim

@@ -27,9 +27,10 @@ struct RunMetrics {
   /// Engine efficiency counters (not part of the model).
   std::uint64_t decision_calls = 0;
   std::uint64_t simulated_rounds = 0;
-  /// FNV-1a hash over all (round, robot, from, to) move events and
-  /// termination events — identical across skip/naive modes and across
-  /// reruns; the determinism fingerprint.
+  /// Order-sensitive hash over all (round, robot, from, to) move events
+  /// and termination events (xor-multiply-shift per word, seeded with the
+  /// FNV offset basis) — identical across skip/naive modes and across
+  /// reruns; the determinism fingerprint. Only equality is meaningful.
   std::uint64_t trace_hash = 1469598103934665603ULL;
 };
 

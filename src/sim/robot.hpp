@@ -8,7 +8,7 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <span>
 
 #include "sim/action.hpp"
 #include "sim/types.hpp"
@@ -43,8 +43,10 @@ struct RoundView {
   Round round = 0;
   std::uint32_t degree = 0;  ///< degree of the current node
   Port entry_port = kNoPort; ///< entry port of the last traversal (kNoPort if none yet)
-  /// Public states of ALL robots at this node (self included), sorted by id.
-  const std::vector<RobotPublicState>* colocated = nullptr;
+  /// Public states of ALL robots at this node (self included), sorted by
+  /// id. A window into the engine's per-round view arena; valid only for
+  /// the duration of the on_round call.
+  std::span<const RobotPublicState> colocated;
 };
 
 /// Base class for robot algorithm implementations.

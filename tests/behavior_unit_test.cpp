@@ -24,7 +24,7 @@ RoundView make_view(Round round, std::uint32_t degree,
   view.round = round;
   view.degree = degree;
   view.entry_port = entry;
-  view.colocated = colocated;
+  view.colocated = *colocated;  // span over the test's backing vector
   return view;
 }
 

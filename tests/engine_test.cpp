@@ -178,7 +178,7 @@ TEST(Engine, WakeOnArrivalInterruptsLongStay) {
   auto sleeper = [&](ScriptedRobot&, const RoundView& view) {
     wake_rounds.push_back(view.round);
     // React to company by terminating; otherwise sleep far in the future.
-    for (const RobotPublicState& s : *view.colocated) {
+    for (const RobotPublicState& s : view.colocated) {
       if (s.id != 1) return Action::terminate();
     }
     return Action::stay_until_round(1000);
@@ -272,7 +272,7 @@ TEST(Engine, PublicStateVisibleNextRound) {
     return Action::stay_one(view.round);
   };
   auto observer = [&](ScriptedRobot&, const RoundView& view) {
-    for (const RobotPublicState& s : *view.colocated) {
+    for (const RobotPublicState& s : view.colocated) {
       if (s.id == 7) observed.push_back(s.tag);
     }
     if (view.round >= 2) return Action::terminate();
@@ -313,7 +313,7 @@ ScriptedRobot::Script phased_script(Round horizon) {
   return [horizon](ScriptedRobot& self, const RoundView& view) -> Action {
     if (view.round >= horizon) return Action::terminate();
     RobotId biggest = 0;
-    for (const RobotPublicState& s : *view.colocated) {
+    for (const RobotPublicState& s : view.colocated) {
       if (s.id != self.id() && s.tag != StateTag::Terminated)
         biggest = std::max(biggest, s.id);
     }
@@ -350,6 +350,38 @@ TEST(Engine, SkipAndNaiveProduceIdenticalTraces) {
     EXPECT_EQ(hashes[0], hashes[1]) << "seed " << seed;
     EXPECT_EQ(rounds[0], rounds[1]) << "seed " << seed;
   }
+}
+
+TEST(Engine, SkipAndNaiveEquivalentOnLargeRandomGraph) {
+  // Stress version of the equivalence referee: a 64-node sparse random
+  // graph with 9 robots running the phased script long enough to mix
+  // follow merges, token drops, and sleep stretches across many nodes —
+  // exercising the flat occupancy lists and the view arena at a scale
+  // the small cases never reach. Positions, round counts, and the trace
+  // fingerprint are pinned across the two stepping modes.
+  const graph::Graph g = graph::make_random_connected(64, 96, 11);
+  std::uint64_t hashes[2];
+  Round rounds[2];
+  std::vector<NodeId> positions[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    EngineConfig cfg = config_with_cap(20000);
+    cfg.naive_stepping = (mode == 1);
+    Engine engine(g, cfg);
+    for (RobotId id = 1; id <= 9; ++id) {
+      engine.add_robot(std::make_unique<ScriptedRobot>(id, phased_script(431)),
+                       static_cast<graph::NodeId>((id * 7) % g.num_nodes()));
+    }
+    const RunResult result = engine.run();
+    ASSERT_TRUE(result.all_terminated) << "mode " << mode;
+    hashes[mode] = result.metrics.trace_hash;
+    rounds[mode] = result.metrics.rounds;
+    for (RobotId id = 1; id <= 9; ++id) {
+      positions[mode].push_back(engine.position_of(id));
+    }
+  }
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(rounds[0], rounds[1]);
+  EXPECT_EQ(positions[0], positions[1]);
 }
 
 TEST(Engine, RerunsAreDeterministic) {

@@ -1,7 +1,9 @@
-// Unit tests for the port-labeled graph substrate (model §1.1).
+// Unit tests for the port-labeled graph substrate (model §1.1), including
+// the CSR storage invariants across every registered generator family.
 #include <gtest/gtest.h>
 
 #include "graph/graph.hpp"
+#include "scenario/registries.hpp"
 #include "support/assert.hpp"
 
 namespace gather::graph {
@@ -100,6 +102,63 @@ TEST(Graph, FromAdjacencyRejectsOddDegreeSum) {
   bad[0] = {HalfEdge{1, 0}};
   bad[1] = {};
   EXPECT_THROW((void)Graph::from_adjacency(std::move(bad)), ContractViolation);
+}
+
+// ---- CSR storage invariants ----------------------------------------------
+// The graph is stored as one flat half-edge array plus a node-offset
+// array; these checks pin the layout contract for every registered
+// generator family (the substrate every theorem harness runs on).
+
+void expect_csr_invariants(const Graph& g, const std::string& context) {
+  SCOPED_TRACE(context);
+  const std::vector<std::uint32_t>& off = g.offsets();
+
+  // Offset shape: one entry per node plus the terminator; starts at 0,
+  // monotone non-decreasing, ends at the half-edge count (2m).
+  ASSERT_EQ(off.size(), g.num_nodes() + 1);
+  EXPECT_EQ(off.front(), 0u);
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(off[v], off[v + 1]) << "offsets not monotone at node " << v;
+  }
+  EXPECT_EQ(off.back(), 2 * g.num_edges());
+
+  std::uint32_t max_degree = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // The span view and the offset arithmetic must agree with degree().
+    const std::span<const HalfEdge> adj = g.neighbors(v);
+    ASSERT_EQ(adj.size(), g.degree(v));
+    ASSERT_EQ(off[v + 1] - off[v], g.degree(v));
+    max_degree = std::max(max_degree, g.degree(v));
+    for (Port p = 0; p < g.degree(v); ++p) {
+      // neighbors() and traverse() are two reads of the same stripe.
+      const HalfEdge h = g.traverse(v, p);
+      EXPECT_EQ(adj[p], h);
+      // Port symmetry via a traverse round-trip.
+      const HalfEdge back = g.traverse(h.to, h.to_port);
+      EXPECT_EQ(back.to, v);
+      EXPECT_EQ(back.to_port, p);
+    }
+  }
+  EXPECT_EQ(g.max_degree(), max_degree);
+  EXPECT_TRUE(validate(g));
+}
+
+TEST(GraphCsr, InvariantsAcrossAllRegisteredFamilies) {
+  for (const auto& [name, entry] : scenario::graph_families().entries()) {
+    if (name == "file") continue;  // needs an on-disk edge list
+    for (const std::size_t n : {std::size_t{8}, std::size_t{33}}) {
+      const Graph g = entry.factory(n, scenario::Params{}, /*seed=*/7);
+      expect_csr_invariants(g, name + " n=" + std::to_string(n));
+    }
+  }
+}
+
+TEST(GraphCsr, SingleNodeGraphHasEmptyStripe) {
+  const Graph g = GraphBuilder(1).finish();
+  ASSERT_EQ(g.offsets().size(), 2u);
+  EXPECT_EQ(g.offsets()[0], 0u);
+  EXPECT_EQ(g.offsets()[1], 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
 }
 
 }  // namespace

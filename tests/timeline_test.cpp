@@ -73,10 +73,16 @@ TEST(Timeline, TracksPerRobotMoves) {
   const Timeline timeline = Timeline::from_trace(out.trace, *out.schedule);
   const auto& stage0 = timeline.stages()[0];
   std::uint64_t sum = 0;
-  for (const auto& [robot, moves] : stage0.moves_by_robot) sum += moves;
+  for (const std::uint64_t moves : stage0.moves_by_robot) sum += moves;
   EXPECT_EQ(sum, stage0.moves);
+  EXPECT_GE(stage0.active_robots(), 1u);
+  EXPECT_LE(stage0.active_robots(), 2u);
+  // moves_by_robot is dense over the ranked label set; every stage's
+  // vector spans the same labels.
+  EXPECT_EQ(stage0.moves_by_robot.size(), timeline.robot_labels().size());
   // The finder (label 1) does the mapping work; the helper follows it.
-  EXPECT_GT(stage0.moves_by_robot.at(1), 0u);
+  EXPECT_GT(timeline.moves_for(stage0, 1), 0u);
+  EXPECT_EQ(timeline.moves_for(stage0, 999), 0u);  // unknown label
 }
 
 TEST(Timeline, PrintRendersStages) {
