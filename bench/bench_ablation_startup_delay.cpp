@@ -2,19 +2,21 @@
 // simultaneously woke up ... an interesting future direction would be
 // [to handle] robots waking up at arbitrary times".
 //
-// Wrap every robot in a DelayedRobot with per-robot delays drawn from
-// [0, τ] and measure, across seeds, how often Faster-Gathering still
-// (a) gathers and (b) detects correctly, as τ grows. τ = 0 must be
-// perfect (identity wrapper); growing τ first breaks detection (robots
-// terminate at misaligned rounds) and then gathering itself — which
-// quantifies how load-bearing the simultaneous-start assumption is, and
-// why Dessmark et al. / Ta-Shma–Zwick treat startup delay as a
-// first-class difficulty.
+// Run every robot under a sim::AdversarialDelayScheduler with per-robot
+// delays drawn from [0, τ] and measure, across seeds, how often
+// Faster-Gathering still (a) gathers and (b) detects correctly, as τ
+// grows. τ = 0 must be perfect (the synchronous model); growing τ first
+// breaks detection (robots terminate at misaligned rounds) and then
+// gathering itself — which quantifies how load-bearing the
+// simultaneous-start assumption is, and why Dessmark et al. /
+// Ta-Shma–Zwick treat startup delay as a first-class difficulty.
+// (Formerly built on the core::DelayedRobot wrapper;
+// tests/scheduler_test.cpp pins the two paths trace-identical.)
 #include "bench_common.hpp"
 
-#include "core/delayed.hpp"
 #include "core/robots.hpp"
 #include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "support/rng.hpp"
 
 namespace gather::bench {
@@ -41,16 +43,18 @@ Tally run_with_delay(const graph::Graph& g, sim::Round max_delay,
     config.sequence = uxs::make_covering_sequence(g, 3);
     const core::Schedule sched = core::Schedule::make(config);
 
+    std::vector<sim::Round> delays;
+    for (std::size_t i = 0; i < k; ++i) {
+      delays.push_back(max_delay == 0 ? 0 : rng.below(max_delay + 1));
+    }
     sim::EngineConfig engine_config;
     engine_config.hard_cap = sched.hard_cap() + max_delay + 8;
+    engine_config.scheduler =
+        std::make_shared<sim::AdversarialDelayScheduler>(delays);
     sim::Engine engine(g, engine_config);
     for (std::size_t i = 0; i < k; ++i) {
-      auto inner =
-          std::make_unique<core::FasterGatheringRobot>(labels[i], config);
-      const sim::Round delay =
-          max_delay == 0 ? 0 : rng.below(max_delay + 1);
       engine.add_robot(
-          std::make_unique<core::DelayedRobot>(std::move(inner), delay),
+          std::make_unique<core::FasterGatheringRobot>(labels[i], config),
           nodes[i]);
     }
     sim::RunResult result;
@@ -101,10 +105,10 @@ void run() {
   }
   table.print(std::cout);
   std::cout
-      << "Shape check: tau = 0 is perfect (identity wrapper); correctness\n"
-         "degrades as tau approaches the schedule's phase scale — the\n"
-         "simultaneous-start assumption is load-bearing, as the paper's\n"
-         "future-work section anticipates.\n";
+      << "Shape check: tau = 0 is perfect (the synchronous model);\n"
+         "correctness degrades as tau approaches the schedule's phase\n"
+         "scale — the simultaneous-start assumption is load-bearing, as\n"
+         "the paper's future-work section anticipates.\n";
 }
 
 }  // namespace

@@ -13,6 +13,13 @@
 // measures how much delay the algorithm tolerates before correctness
 // degrades, which quantifies exactly why the paper assumes simultaneous
 // wake-up.
+//
+// LEGACY: superseded by sim::AdversarialDelayScheduler, which implements
+// the same local-time semantics engine-side and composes with sweeps
+// (scenario scheduler axis). This wrapper is retained only as the
+// equivalence reference — tests/scheduler_test.cpp pins the scheduler
+// path trace-identical to it — and will be removed once that pin has
+// aged; do not add new users.
 #pragma once
 
 #include <memory>

@@ -63,10 +63,17 @@ RunOutcome run_gathering(const graph::Graph& g,
     }
   }
 
+  // Adversary slack: only a *derived* cap is stretched — an explicit
+  // spec.hard_cap is the caller's bound and stays authoritative.
+  if (spec.scheduler != nullptr && spec.hard_cap == 0) {
+    cap = spec.scheduler->extend_cap(cap);
+  }
+
   sim::EngineConfig engine_config;
   engine_config.hard_cap = cap;
   engine_config.naive_stepping = spec.naive_engine;
   engine_config.record_trace = spec.record_trace;
+  engine_config.scheduler = spec.scheduler;
   sim::Engine engine(g, engine_config);
 
   std::vector<const FasterGatheringRobot*> faster_robots;

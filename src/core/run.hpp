@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -39,6 +40,10 @@ struct RunSpec {
   bool record_trace = false;
   /// 0 = derive from the schedule.
   sim::Round hard_cap = 0;
+  /// Scheduling adversary (sim/scheduler.hpp); null = synchronous. A
+  /// derived hard cap is stretched by the scheduler's extend_cap() so
+  /// delayed/suppressed schedules get the slack they shift into.
+  std::shared_ptr<const sim::Scheduler> scheduler;
 };
 
 struct RunOutcome {

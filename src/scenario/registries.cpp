@@ -261,6 +261,60 @@ AlgorithmRegistry make_algorithms() {
   return reg;
 }
 
+SchedulerRegistry make_schedulers() {
+  SchedulerRegistry reg("scheduler");
+  const auto no_params = std::vector<ParamSpec>{};
+  reg.add("synchronous",
+          "the paper's model (§1.1): all robots start in round 0, every "
+          "robot acts every round",
+          no_params,
+          [](std::size_t, const Params&, std::uint64_t)
+              -> std::shared_ptr<const sim::Scheduler> {
+            return std::make_shared<sim::SynchronousScheduler>();
+          });
+  reg.add("adversarial-delay",
+          "arbitrary startup times (§3 future work): per-robot start "
+          "delays drawn from [0, max-delay]",
+          {{"max-delay", "largest start delay in rounds", "64"}},
+          [](std::size_t k, const Params& p, std::uint64_t seed)
+              -> std::shared_ptr<const sim::Scheduler> {
+            const std::uint64_t max_delay = p.get_uint("max-delay", 64);
+            return std::make_shared<sim::AdversarialDelayScheduler>(
+                seed, max_delay, k);
+          });
+  reg.add("semi-synchronous",
+          "adversarial subset activation: pending robots act at least "
+          "once every `fairness` rounds; the paper's round-counting "
+          "algorithms are not SSYNC-tolerant and violate immediately "
+          "(recorded per row) — use with round-robust programs",
+          {{"fairness", "fairness window in rounds (>= 1)", "4"}},
+          [](std::size_t, const Params& p, std::uint64_t seed)
+              -> std::shared_ptr<const sim::Scheduler> {
+            const std::uint64_t fairness = p.get_uint("fairness", 4);
+            require(fairness >= 1,
+                    "scheduler 'semi-synchronous' requires fairness >= 1");
+            return std::make_shared<sim::SemiSynchronousScheduler>(seed,
+                                                                   fairness);
+          });
+  reg.add("crash-fault",
+          "`crashes` robots halt permanently at adversary-chosen rounds "
+          "in [0, window] — the detection-soundness probe",
+          {{"crashes", "number of robots that crash", "1"},
+           {"window", "latest possible crash round", "64"}},
+          [](std::size_t k, const Params& p, std::uint64_t seed)
+              -> std::shared_ptr<const sim::Scheduler> {
+            const std::uint64_t crashes = p.get_uint("crashes", 1);
+            const std::uint64_t window = p.get_uint("window", 64);
+            require(crashes <= k,
+                    "scheduler 'crash-fault' requires crashes <= k (k=" +
+                        std::to_string(k) + ", crashes=" +
+                        std::to_string(crashes) + ")");
+            return std::make_shared<sim::CrashFaultScheduler>(seed, crashes,
+                                                              window, k);
+          });
+  return reg;
+}
+
 SequenceRegistry make_sequences() {
   SequenceRegistry reg("sequence policy");
   const auto no_params = std::vector<ParamSpec>{};
@@ -318,6 +372,11 @@ AlgorithmRegistry& algorithms() {
 
 SequenceRegistry& sequences() {
   static SequenceRegistry reg = make_sequences();
+  return reg;
+}
+
+SchedulerRegistry& schedulers() {
+  static SchedulerRegistry reg = make_schedulers();
   return reg;
 }
 

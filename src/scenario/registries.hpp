@@ -1,9 +1,10 @@
 // The concrete registries behind ScenarioSpec: graph families, placement
-// strategies, labeling strategies, algorithms, and exploration-sequence
-// policies. Every generator in src/graph/generators.hpp is registered
-// here, so all families are reachable from the CLI and from sweeps by
-// name — adding a scenario axis is one `add()` call, not edits in every
-// harness.
+// strategies, labeling strategies, algorithms, exploration-sequence
+// policies, and scheduling adversaries. Every generator in
+// src/graph/generators.hpp and every adversary in src/sim/scheduler.hpp
+// is registered here, so all of them are reachable from the CLI and from
+// sweeps by name — adding a scenario axis is one `add()` call, not edits
+// in every harness.
 //
 // Single-knob sizing: family factories take the *requested* node count n
 // and derive their shape parameters from it (near-square grids/tori,
@@ -16,11 +17,14 @@
 #include <functional>
 #include <vector>
 
+#include <memory>
+
 #include "core/run.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/placement.hpp"
 #include "scenario/registry.hpp"
+#include "sim/scheduler.hpp"
 #include "uxs/uxs.hpp"
 
 namespace gather::scenario {
@@ -42,11 +46,18 @@ using LabelingFactory = std::function<std::vector<graph::RobotLabel>(
 using SequenceFactory =
     std::function<uxs::SequencePtr(const graph::Graph& g, std::uint64_t seed)>;
 
+/// Builds the scheduling adversary for a k-robot scenario (see
+/// sim/scheduler.hpp). The seed is the scenario's scheduler sub-seed, so
+/// the adversary's choices are independent of the other axes' randomness.
+using SchedulerFactory = std::function<std::shared_ptr<const sim::Scheduler>(
+    std::size_t k, const Params&, std::uint64_t seed)>;
+
 using GraphFamilyRegistry = Registry<FamilyFactory>;
 using PlacementRegistry = Registry<PlacementFactory>;
 using LabelingRegistry = Registry<LabelingFactory>;
 using AlgorithmRegistry = Registry<core::AlgorithmKind>;
 using SequenceRegistry = Registry<SequenceFactory>;
+using SchedulerRegistry = Registry<SchedulerFactory>;
 
 /// The process-wide registries, populated with every built-in on first
 /// use; harnesses may add() their own entries on top.
@@ -55,6 +66,7 @@ using SequenceRegistry = Registry<SequenceFactory>;
 [[nodiscard]] LabelingRegistry& labelings();
 [[nodiscard]] AlgorithmRegistry& algorithms();
 [[nodiscard]] SequenceRegistry& sequences();
+[[nodiscard]] SchedulerRegistry& schedulers();
 
 /// rows×cols for an n-node grid/torus with sides >= min_side: the divisor
 /// pair closest to square when one exists with aspect ratio <= 2,

@@ -17,6 +17,8 @@ ResolvedScenario resolve(const ScenarioSpec& spec) {
   const auto& labeling = labelings().get(spec.labeling);
   const auto& algorithm = algorithms().get(spec.algorithm);
   const auto& sequence = sequences().get(spec.sequence);
+  const auto& scheduler = schedulers().get(spec.scheduler);
+  schedulers().validate_params(scheduler, spec.scheduler_params);
 
   ResolvedScenario r;
   r.requested_n = spec.n;
@@ -46,6 +48,8 @@ ResolvedScenario resolve(const ScenarioSpec& spec) {
   }
   r.run_spec.config.known_min_pair_distance = spec.known_min_pair_distance;
   r.run_spec.record_trace = spec.record_trace;
+  r.run_spec.scheduler = scheduler.factory(
+      spec.k, spec.scheduler_params, sub_seed(spec.seed, SeedAxis::Scheduler));
   return r;
 }
 

@@ -1,17 +1,18 @@
 // Declarative scenario description — the library's front door.
 //
 // A ScenarioSpec names every axis of one gathering instance by registry
-// key (family, placement, labeling, algorithm, sequence policy) plus the
-// scalar knobs (n, k, seed, the Remark 13/14 knowledge flags). resolve()
-// turns it into a runnable instance; run_scenario() runs it. Harnesses
-// that used to hand-roll string dispatch over generators/placements
-// (gather_cli, the bench binaries, property_sweep_test) now construct a
-// spec and let this layer do the lookup, validation, and seeding.
+// key (family, placement, labeling, algorithm, sequence policy, and the
+// scheduling adversary) plus the scalar knobs (n, k, seed, the Remark
+// 13/14 knowledge flags). resolve() turns it into a runnable instance;
+// run_scenario() runs it. Harnesses that used to hand-roll string
+// dispatch over generators/placements (gather_cli, the bench binaries,
+// property_sweep_test) now construct a spec and let this layer do the
+// lookup, validation, and seeding.
 //
 // Determinism: a spec fully determines its instance and outcome. The
 // single `seed` is split into independent per-axis streams (graph,
-// placement, labels, sequence) via support::hash_combine, so changing one
-// axis never perturbs another's randomness.
+// placement, labels, sequence, scheduler) via support::hash_combine, so
+// changing one axis never perturbs another's randomness.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +34,8 @@ struct ScenarioSpec {
   std::string labeling = "random";
   std::string algorithm = "faster";
   std::string sequence = "covering";
+  std::string scheduler = "synchronous";
+  Params scheduler_params;
 
   // ---- scalar knobs ----
   std::size_t n = 12;  ///< requested node count (realized may differ)
@@ -76,6 +79,7 @@ enum class SeedAxis : std::uint64_t {
   Placement = 0x70,
   Labels = 0x6c,
   Sequence = 0x75,
+  Scheduler = 0x73,
 };
 [[nodiscard]] std::uint64_t sub_seed(std::uint64_t seed, SeedAxis axis);
 

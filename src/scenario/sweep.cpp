@@ -30,12 +30,15 @@ std::vector<std::string> row_cells(const SweepRow& row) {
           spec.labeling,
           spec.algorithm,
           spec.sequence,
+          spec.scheduler,
+          params_cell(spec.scheduler_params),
           std::to_string(spec.k),
           row.k_rule,
           std::to_string(spec.seed),
           std::to_string(row.min_pair_distance),
           result.gathered_at_end ? "1" : "0",
           result.detection_correct ? "1" : "0",
+          row.protocol_violation ? "1" : "0",
           std::to_string(result.metrics.rounds),
           std::to_string(result.metrics.total_moves),
           std::to_string(result.metrics.total_message_bits),
@@ -54,6 +57,8 @@ void validate_keys(const ScenarioSpec& spec) {
   (void)labelings().get(spec.labeling);
   (void)algorithms().get(spec.algorithm);
   (void)sequences().get(spec.sequence);
+  schedulers().validate_params(schedulers().get(spec.scheduler),
+                               spec.scheduler_params);
 }
 
 }  // namespace
@@ -123,6 +128,9 @@ std::vector<SweepPoint> SweepRunner::enumerate(const SweepSpec& sweep) {
   const std::vector<std::string> algorithm_axis =
       sweep.algorithms.empty() ? std::vector<std::string>{sweep.base.algorithm}
                                : sweep.algorithms;
+  const std::vector<std::string> scheduler_axis =
+      sweep.schedulers.empty() ? std::vector<std::string>{sweep.base.scheduler}
+                               : sweep.schedulers;
   const std::vector<std::uint64_t> seeds =
       sweep.seeds.empty() ? std::vector<std::uint64_t>{sweep.base.seed}
                           : sweep.seeds;
@@ -131,19 +139,22 @@ std::vector<SweepPoint> SweepRunner::enumerate(const SweepSpec& sweep) {
   for (const std::string& family : families) {
     for (const std::string& algorithm : algorithm_axis) {
       for (const std::string& placement : placement_axis) {
-        for (const KRule& rule : k_rules) {
-          for (const std::size_t n : sizes) {
-            for (const std::uint64_t seed : seeds) {
-              ScenarioSpec spec = sweep.base;
-              spec.family = family;
-              spec.algorithm = algorithm;
-              spec.placement = placement;
-              spec.n = n;
-              spec.k = rule.k_of_n(n);
-              spec.seed = seed;
-              validate_keys(spec);
-              if (sweep.filter && !sweep.filter(spec)) continue;
-              points.push_back(SweepPoint{std::move(spec), rule.name});
+        for (const std::string& scheduler : scheduler_axis) {
+          for (const KRule& rule : k_rules) {
+            for (const std::size_t n : sizes) {
+              for (const std::uint64_t seed : seeds) {
+                ScenarioSpec spec = sweep.base;
+                spec.family = family;
+                spec.algorithm = algorithm;
+                spec.placement = placement;
+                spec.scheduler = scheduler;
+                spec.n = n;
+                spec.k = rule.k_of_n(n);
+                spec.seed = seed;
+                validate_keys(spec);
+                if (sweep.filter && !sweep.filter(spec)) continue;
+                points.push_back(SweepPoint{std::move(spec), rule.name});
+              }
             }
           }
         }
@@ -183,8 +194,23 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& sweep) {
         row.realized_n = resolved.realized_n;
         row.min_pair_distance = resolved.min_pair_distance;
         const auto start = std::chrono::steady_clock::now();
-        row.outcome = core::run_gathering(resolved.graph, resolved.placement,
-                                          resolved.run_spec);
+        try {
+          row.outcome = core::run_gathering(resolved.graph, resolved.placement,
+                                            resolved.run_spec);
+        } catch (const ContractViolation&) {
+          // An adversarial scheduler can push the algorithms outside
+          // their protocol invariants; with the tolerance flag set that
+          // is a recorded outcome, not a sweep abort. A violation under
+          // a scheduler that cannot perturb the run (synchronous, or a
+          // degenerate parameterization like max-delay=0) is an
+          // engine/algorithm bug and always propagates, tolerance or
+          // not — otherwise a mixed sweep would ship regressions as
+          // innocuous violation=1 rows.
+          const sim::Scheduler* sched = resolved.run_spec.scheduler.get();
+          const bool benign = sched == nullptr || !sched->adversarial();
+          if (!sweep.tolerate_protocol_violations || benign) throw;
+          row.protocol_violation = true;
+        }
         row.wall_seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start)
@@ -211,9 +237,11 @@ std::vector<std::string> SweepRunner::csv_header() {
   return {"family",    "family_params", "n",
           "realized_n", "placement",     "placement_params",
           "labeling",  "algorithm",     "sequence",
+          "scheduler", "scheduler_params",
           "k",         "k_rule",        "seed",
           "min_pair_distance",          "gathered",
-          "detection", "rounds",        "total_moves",
+          "detection", "violation",
+          "rounds",    "total_moves",
           "message_bits",              "stage_hop",
           "peak_map_bits"};
 }

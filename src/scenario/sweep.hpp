@@ -1,8 +1,8 @@
 // Cartesian scenario sweeps with a parallel, deterministic runner.
 //
 // A SweepSpec is the declarative form of "the table in the paper": axes
-// (families × sizes × k-rules × placements × algorithms × seeds) over a
-// base ScenarioSpec, with an optional per-point filter. SweepRunner
+// (families × sizes × k-rules × placements × algorithms × schedulers ×
+// seeds) over a base ScenarioSpec, with an optional per-point filter. SweepRunner
 // enumerates the grid in a fixed documented order, executes every point
 // through support::parallel_for (each point is an independent seeded
 // simulation), and returns structured SweepRows in enumeration order —
@@ -47,6 +47,7 @@ struct SweepSpec {
   std::vector<KRule> k_rules;           ///< empty = {k_fixed(base.k)}
   std::vector<std::string> placements;  ///< empty = {base.placement}
   std::vector<std::string> algorithms;  ///< empty = {base.algorithm}
+  std::vector<std::string> schedulers;  ///< empty = {base.scheduler}
   std::vector<std::uint64_t> seeds;     ///< empty = {base.seed}
 
   /// Per-point filter over the fully instantiated spec (n and k set);
@@ -61,6 +62,18 @@ struct SweepSpec {
   /// typos always throw; if every point is infeasible, the first error
   /// is rethrown rather than returning an empty sweep.
   bool skip_infeasible = false;
+
+  /// When true, a ContractViolation thrown by the *simulation* (not by
+  /// resolution) under an ADVERSARIAL scheduler marks the row
+  /// `protocol_violation` instead of aborting the sweep — misaligned or
+  /// suppressed schedules can legitimately break protocol invariants
+  /// (e.g. a late helper misses its finder), and that breakage is the
+  /// measurement, not an error. A violation on a row whose scheduler
+  /// cannot actually perturb the run (Scheduler::adversarial() false:
+  /// synchronous, max-delay=0, fairness=1, zero crashes) is an
+  /// engine/algorithm bug and propagates regardless of this flag, so
+  /// mixed sweeps cannot record regressions as innocuous rows.
+  bool tolerate_protocol_violations = false;
 
   /// Worker threads; 0 = support::default_thread_count().
   unsigned threads = 0;
@@ -80,13 +93,18 @@ struct SweepRow {
   std::size_t realized_n = 0;
   std::uint32_t min_pair_distance = 0;
   core::RunOutcome outcome;
+  /// The simulation broke a protocol invariant (only possible when
+  /// SweepSpec::tolerate_protocol_violations is set); outcome is
+  /// default-initialized in that case.
+  bool protocol_violation = false;
   double wall_seconds = 0.0;  ///< excluded from CSV/JSON (nondeterministic)
 };
 
 class SweepRunner {
  public:
-  /// Grid order (outer to inner): family, algorithm, placement, k-rule,
-  /// size, seed — so rows group the way regime tables read.
+  /// Grid order (outer to inner): family, algorithm, placement,
+  /// scheduler, k-rule, size, seed — so rows group the way regime tables
+  /// read.
   [[nodiscard]] static std::vector<SweepPoint> enumerate(const SweepSpec& spec);
 
   /// Execute all points in parallel; rows come back in enumeration order.

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "support/assert.hpp"
 #include "support/math.hpp"
@@ -25,9 +26,11 @@ void hash_word(std::uint64_t& h, std::uint64_t w) {
 
 Engine::Engine(const graph::Graph& graph, EngineConfig config)
     : graph_(graph),
-      config_(config),
+      config_(std::move(config)),
       occ_head_(graph.num_nodes(), kNoSlot) {
   GATHER_EXPECTS(config_.hard_cap > 0);
+  sched_ = config_.scheduler.get();
+  suppressing_ = sched_ != nullptr && sched_->fairness_bound() > 0;
 }
 
 void Engine::add_robot(std::unique_ptr<Robot> robot, NodeId start) {
@@ -43,6 +46,12 @@ void Engine::add_robot(std::unique_ptr<Robot> robot, NodeId start) {
   GATHER_EXPECTS(it == slots_by_id_.end() || ids_[*it] != id);
 
   const auto slot = static_cast<std::uint32_t>(robots_.size());
+  const Round release = sched_ != nullptr ? sched_->release_round(slot, id) : 0;
+  const Round crash = sched_ != nullptr ? sched_->crash_round(slot, id)
+                                        : kNoRound;
+  any_delay_ = any_delay_ || release > 0;
+  any_crash_ = any_crash_ || crash != kNoRound;
+
   robots_.push_back(std::move(robot));
   ids_.push_back(id);
   pos_.push_back(start);
@@ -51,11 +60,15 @@ void Engine::add_robot(std::unique_ptr<Robot> robot, NodeId start) {
   active_stamp_.push_back(kNoRound);
   move_count_.push_back(0);
   terminated_.push_back(0);
+  release_.push_back(release);
+  crash_at_.push_back(crash);
   occ_next_.push_back(kNoSlot);
   slots_by_id_.insert(it, slot);
 
   occupants_insert(start, slot);
-  heap_push(0, slot);
+  // A delayed robot's first wake deadline is its release round; until
+  // then it is dormant (present, Init-tagged, never activated).
+  heap_push(release, slot);
 }
 
 NodeId Engine::position_of(RobotId id) const { return pos_[slot_of(id)]; }
@@ -150,12 +163,35 @@ RunResult Engine::run() {
   Round r = 0;
   bool first_round = true;
 
+  // Hoisted scheduler gates: locals stay in registers across the round
+  // loop (the members would be reloaded after every opaque robot call),
+  // so the synchronous path pays one predicted branch per activation.
+  const bool any_delay = any_delay_;
+  const bool any_crash = any_crash_;
+  const bool suppressing = suppressing_;
+  const bool filtered = any_delay || any_crash || suppressing;
+
+  // A robot counts as alive while it can still act in some future round,
+  // i.e. it neither terminated nor crashes by round r+1.
+  const auto count_alive = [&](Round now) {
+    std::size_t count = 0;
+    for (std::uint32_t s = 0; s < num_slots; ++s) {
+      if (terminated_[s] == 0 && (!any_crash || crash_at_[s] > now + 1))
+        ++count;
+    }
+    return count;
+  };
+
   while (alive > 0) {
     if (config_.naive_stepping) {
       r = first_round ? 0 : r + 1;
     } else {
       Round next = 0;
       if (!heap_pop_next(next)) {
+        // With a crash adversary the heap can legitimately run dry: the
+        // remaining un-terminated robots all crashed (their entries were
+        // dropped below), so nobody will ever act again.
+        if (any_crash) break;
         throw SimError("engine deadlock: live robots but no wake deadline");
       }
       GATHER_INVARIANT(first_round || next > r);
@@ -168,10 +204,21 @@ RunResult Engine::run() {
     }
 
     // ---- collect this round's active robots -----------------------------
+    // The scheduler filters the candidates: crashed slots are dropped for
+    // good, dormant slots defer to their release round, suppressed slots
+    // defer one round (pure predicates — see sim/scheduler.hpp — so skip
+    // and naive stepping agree). All three gates are off (false) for the
+    // synchronous model and cost nothing.
     active_.clear();
     if (config_.naive_stepping) {
       for (std::uint32_t s = 0; s < num_slots; ++s) {
-        if (terminated_[s] == 0) active_.push_back(s);
+        if (terminated_[s] != 0) continue;
+        if (filtered) {
+          if (any_crash && r >= crash_at_[s]) continue;
+          if (any_delay && r < release_[s]) continue;
+          if (suppressing && !sched_->activates(r, s, ids_[s])) continue;
+        }
+        active_.push_back(s);
       }
     } else {
       // Drain every heap entry scheduled at round r (dedupe via stamp),
@@ -185,6 +232,17 @@ RunResult Engine::run() {
         std::pop_heap(heap_.begin(), heap_.end(),
                       std::greater<std::pair<Round, std::uint32_t>>{});
         heap_.pop_back();
+        if (filtered) {
+          if (any_crash && r >= crash_at_[slot]) continue;  // crashed for good
+          if (any_delay && r < release_[slot]) {
+            heap_push(release_[slot], slot);  // dormant: woken by arrivals
+            continue;
+          }
+          if (suppressing && !sched_->activates(r, slot, ids_[slot])) {
+            heap_push(r + 1, slot);  // suppressed: deferred one round
+            continue;
+          }
+        }
         active_stamp_[slot] = r;
         any = true;
       }
@@ -194,16 +252,21 @@ RunResult Engine::run() {
         }
       }
     }
-    GATHER_INVARIANT(!active_.empty());
+    if (active_.empty()) {
+      // Only an adversary can empty a round (everyone dormant, suppressed,
+      // or crashed); the round is not simulated, but robots that can still
+      // act later keep the run alive.
+      GATHER_INVARIANT(filtered);
+      alive = count_alive(r);
+      continue;
+    }
 
     const std::size_t movers = simulate_round(r, result);
 
     // ---- post-round bookkeeping -----------------------------------------
     m.rounds = r;
     ++m.simulated_rounds;
-    alive = 0;
-    for (std::uint32_t s = 0; s < num_slots; ++s)
-      if (terminated_[s] == 0) ++alive;
+    alive = count_alive(r);
     if ((movers > 0 || m.simulated_rounds == 1) &&
         m.first_gathered == kNoRound && all_colocated()) {
       m.first_gathered = r;
@@ -212,7 +275,10 @@ RunResult Engine::run() {
     (void)movers;
   }
 
-  result.all_terminated = (alive == 0);
+  result.all_terminated = true;
+  for (std::uint32_t s = 0; s < num_slots; ++s) {
+    if (terminated_[s] == 0) result.all_terminated = false;
+  }
   result.gathered_at_end = all_colocated();
   if (result.gathered_at_end) result.gather_node = pos_.front();
   result.detection_correct =
@@ -268,6 +334,16 @@ Action Engine::resolve_action(std::uint32_t s, Round r) {
       throw ContractViolation("robot follows non-co-located leader");
     if (terminated_[leader] != 0)
       throw ContractViolation("robot follows terminated leader");
+    if (any_crash_ && r >= crash_at_[leader]) {
+      // A crashed leader does nothing; the follower stays put and
+      // re-decides next round. (Resolved here rather than through the
+      // implicit-stay branch because a crashed slot's wake deadline is
+      // meaningless and differs between stepping modes.)
+      resolve_mark_[s] = 0;
+      resolved_[s] = Action::stay_one(r);
+      resolved_stamp_[s] = r;
+      return resolved_[s];
+    }
     const Action leader_action = resolve_action(leader, r);
     switch (leader_action.kind) {
       case ActionKind::Move:
@@ -294,6 +370,8 @@ Action Engine::resolve_action(std::uint32_t s, Round r) {
 
 std::size_t Engine::simulate_round(Round r, RunResult& result) {
   auto& m = result.metrics;
+  const bool any_delay = any_delay_;
+  const bool suppressing = suppressing_;
 
   // ---- build communication views (per node hosting an active robot) ----
   // Views snapshot the public states as of the END of the previous round;
@@ -304,21 +382,45 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
   for (const std::uint32_t s : active_) (void)view_for(pos_[s], r);
 
   // ---- decisions --------------------------------------------------------
-  for (const std::uint32_t s : active_) {
-    RoundView view;
-    view.round = r;
-    view.degree = graph_.degree(pos_[s]);
-    view.entry_port = entry_port_[s];
-    view.colocated = view_for(pos_[s], r);
-    const RobotId self = ids_[s];
-    for (const RobotPublicState& other : view.colocated) {
-      if (other.id == self) continue;
-      m.total_message_bits += support::bit_width_u64(other.id) +
-                              support::bit_width_u64(other.group_id) + 3;
+  // Stamped out twice (compile-time branch) so the synchronous path runs
+  // the exact pre-scheduler loop: the local-time translation costs two
+  // ops per decision, which BM_EngineMovementThroughput resolves.
+  const auto decide_all = [&](auto delay_tag) {
+    constexpr bool kDelayed = decltype(delay_tag)::value;
+    for (const std::uint32_t s : active_) {
+      RoundView view;
+      if constexpr (kDelayed) {
+        // A delayed robot runs in local time: it observes round r − τ
+        // and its Stay deadlines come back in local time, translated
+        // below. τ = 0 for every robot under the synchronous model.
+        view.round = r - release_[s];
+      } else {
+        view.round = r;
+      }
+      view.degree = graph_.degree(pos_[s]);
+      view.entry_port = entry_port_[s];
+      view.colocated = view_for(pos_[s], r);
+      const RobotId self = ids_[s];
+      for (const RobotPublicState& other : view.colocated) {
+        if (other.id == self) continue;
+        m.total_message_bits += support::bit_width_u64(other.id) +
+                                support::bit_width_u64(other.group_id) + 3;
+      }
+      decisions_[s] = robots_[s]->on_round(view);
+      if constexpr (kDelayed) {
+        if (decisions_[s].kind == ActionKind::Stay) {
+          decisions_[s].stay_until =
+              support::sat_add(decisions_[s].stay_until, release_[s]);
+        }
+      }
+      decision_stamp_[s] = r;
+      ++m.decision_calls;
     }
-    decisions_[s] = robots_[s]->on_round(view);
-    decision_stamp_[s] = r;
-    ++m.decision_calls;
+  };
+  if (any_delay) {
+    decide_all(std::true_type{});
+  } else {
+    decide_all(std::false_type{});
   }
 
   // ---- resolve follow chains ---------------------------------------------
@@ -326,6 +428,7 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
 
   // ---- apply moves and terminations simultaneously ----------------------
   std::size_t movers = 0;
+  bool terminated_this_round = false;
   touched_nodes_.clear();
   for (const std::uint32_t s : active_) {
     const Action action = resolved_[s];
@@ -348,12 +451,21 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
         if (config_.record_trace && trace_.size() < config_.trace_limit) {
           trace_.push_back(TraceEvent{r, ids_[s], from, h.to});
         }
-        if (!config_.naive_stepping) heap_push(r + 1, s);
+        if (!config_.naive_stepping) {
+          heap_push(r + 1, s);
+        } else if (suppressing) {
+          // Suppression makes the implicit-stay resolution path reachable
+          // in naive mode too (a follower may name a suppressed leader),
+          // so the wake deadline must stay maintained without the heap.
+          wake_[s] = r + 1;
+        }
         break;
       }
       case ActionKind::Stay: {
         if (!config_.naive_stepping) {
           heap_push(std::max(action.stay_until, r + 1), s);
+        } else if (suppressing) {
+          wake_[s] = std::max(action.stay_until, r + 1);
         }
         break;
       }
@@ -362,6 +474,7 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
         robots_[s]->mark_terminated();
         if (m.first_termination == kNoRound) m.first_termination = r;
         m.last_termination = r;
+        terminated_this_round = true;
         hash_word(m.trace_hash, ~r);
         hash_word(m.trace_hash, ids_[s]);
         break;
@@ -370,6 +483,15 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
         GATHER_INVARIANT(!"unreachable: actions were resolved");
         break;
     }
+  }
+
+  // A robot announcing termination claims gathering is complete; record
+  // any announcement made while the full robot set (dormant and crashed
+  // robots included — they are part of the ground truth) was not
+  // co-located. The paper's detection guarantee is exactly that this
+  // never happens under the synchronous adversary.
+  if (terminated_this_round && !all_colocated()) {
+    result.false_announcement = true;
   }
 
   // ---- occupancy-change wakeups ------------------------------------------
@@ -382,6 +504,12 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
       for (std::uint32_t occ = occ_head_[node]; occ != kNoSlot;
            occ = occ_next_[occ]) {
         if (terminated_[occ] != 0) continue;
+        // Crashed and still-dormant occupants would only be dropped or
+        // re-deferred by the collection filter next round — skip the
+        // heap churn here (no behavior change, pinned by the skip-vs-
+        // naive equivalence suite).
+        if (any_crash_ && r + 1 >= crash_at_[occ]) continue;
+        if (any_delay_ && release_[occ] > r + 1) continue;
         if (wake_[occ] > r + 1) heap_push(r + 1, occ);
       }
     }

@@ -1,8 +1,15 @@
-// The synchronous round engine — the paper's execution model (§1.1).
+// The round engine — the paper's execution model (§1.1) under a
+// pluggable scheduling adversary (sim/scheduler.hpp).
 //
 // Each round: (1) co-located robots exchange public states and decide
 // simultaneously from the previous round's snapshot; (2) moves execute.
-// Two engine features matter for fidelity and scale:
+// Which robots participate in a round is the scheduler's call: the
+// default (no scheduler, or SynchronousScheduler) is the paper's model —
+// everyone, every round, from round 0 — while adversarial schedulers may
+// delay starts (robots then run in local time), suppress subsets of the
+// pending robots, or crash robots permanently. The engine stays the
+// mechanism; the adversary is policy. Three engine features matter for
+// fidelity and scale:
 //
 //  * Follow-chain resolution. "Follow X" is the F2F message "do what I
 //    do this round"; the engine resolves chains (helper → finder,
@@ -16,7 +23,16 @@
 //    for the following round, preserving exact F2F semantics. The paper's
 //    Õ(n^5)-round schedules are dominated by such quiet stretches, which
 //    is what makes them simulable. `naive_stepping` disables all of this
-//    for the equivalence tests.
+//    for the equivalence tests. Scheduler policies compose with skipping
+//    because they are pure per-robot functions (see scheduler.hpp):
+//    skip-mode and naive-mode runs stay trace-identical under every
+//    adversary, which tests/scheduler_test.cpp pins.
+//
+//  * Scheduler hooks off the hot path. Adversary features are gated by
+//    booleans cached at add_robot time (any delay? any crash? does this
+//    scheduler suppress?), so a synchronous run executes the same
+//    instructions as before the scheduler layer existed — bit-identical
+//    traces, no measurable throughput cost (BENCH_engine.json).
 //
 // Memory layout (see DESIGN.md "Memory layout"): per-robot state lives in
 // flat structure-of-arrays buffers indexed by *slot* (the dense index
@@ -46,6 +62,7 @@
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
 #include "sim/robot.hpp"
+#include "sim/scheduler.hpp"
 
 namespace gather::sim {
 
@@ -62,6 +79,9 @@ struct EngineConfig {
   /// Record individual move events (bounded by trace_limit).
   bool record_trace = false;
   std::size_t trace_limit = 1u << 20;
+  /// Scheduling adversary (see sim/scheduler.hpp). Null is the paper's
+  /// synchronous model, bit-identical to SynchronousScheduler.
+  std::shared_ptr<const Scheduler> scheduler;
 };
 
 struct TraceEvent {
@@ -97,6 +117,15 @@ class Engine {
   const graph::Graph& graph_;
   EngineConfig config_;
 
+  // ---- scheduler policy, cached off the hot path ------------------------
+  // The per-slot release/crash rounds are sampled once in add_robot; the
+  // three feature flags gate every scheduler branch in the round loop, so
+  // a synchronous run pays nothing for the adversary machinery.
+  const Scheduler* sched_ = nullptr;  ///< non-owning view of config_.scheduler
+  bool any_delay_ = false;
+  bool any_crash_ = false;
+  bool suppressing_ = false;
+
   // ---- flat per-slot state (SoA), indexed by add_robot order -----------
   std::vector<std::unique_ptr<Robot>> robots_;  ///< cold: ownership + vtable
   std::vector<RobotId> ids_;                    ///< hot copy of the labels
@@ -106,6 +135,8 @@ class Engine {
   std::vector<Round> active_stamp_;  ///< dedupe marker for the active set
   std::vector<std::uint64_t> move_count_;
   std::vector<std::uint8_t> terminated_;
+  std::vector<Round> release_;   ///< scheduler: per-slot start round
+  std::vector<Round> crash_at_;  ///< scheduler: per-slot crash round
 
   /// Slot indices sorted by label — the label→slot index (binary search;
   /// labels are sparse in [1, n^b], so no direct-indexed table).

@@ -43,6 +43,12 @@ struct RunResult {
   /// was complete at that moment — the falsifiable statement of
   /// "gathering with detection".
   bool detection_correct = false;
+  /// Some robot announced termination (claimed gathering complete) in a
+  /// round where the full robot set — dormant and crashed robots
+  /// included — was not co-located. Never true for the paper's
+  /// algorithms under the synchronous scheduler; the crash-fault
+  /// adversary exists to show when it becomes true.
+  bool false_announcement = false;
   /// Adversary-view node where the run ended gathered (undefined if not).
   NodeId gather_node = 0;
   RunMetrics metrics;

@@ -1,0 +1,655 @@
+// Scheduler-layer referee suite.
+//
+// Three pins hold the refactor together:
+//  1. The `synchronous` scheduler is bit-identical to the pre-refactor
+//     engine: trace hashes, round counts, and move totals captured from
+//     the engine BEFORE the scheduler layer existed are hard-coded here
+//     and must keep matching (all quantities are pure integer functions
+//     of the deterministic instance, so they are platform-independent).
+//  2. `adversarial-delay` is trace-identical to the legacy
+//     core::DelayedRobot wrapper it subsumes, across the edge cases the
+//     wrapper was known to handle (all robots late, single robot, ties).
+//  3. Every adversary preserves skip-vs-naive equivalence — scheduler
+//     policies are pure per-robot functions, so event-driven skipping
+//     must not change observable behaviour under any of them.
+//
+// On top sit behavioural properties: semi-synchronous fairness, crash
+// freezing, detection soundness flags (RunResult::false_announcement),
+// and a registry/sweep pass over every graph family × every adversary.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "core/delayed.hpp"
+#include "core/robots.hpp"
+#include "core/run.hpp"
+#include "graph/generators.hpp"
+#include "graph/placement.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+#include "support/assert.hpp"
+#include "support/parallel_for.hpp"
+#include "uxs/uxs.hpp"
+
+namespace gather {
+namespace {
+
+// ---- 1. synchronous == pre-refactor engine, bit for bit ------------------
+
+TEST(SchedulerEquivalence, SynchronousPinnedToPreRefactorEngine) {
+  struct Pinned {
+    const char* family;
+    std::size_t n;
+    std::size_t k;
+    const char* placement;
+    const char* algorithm;
+    std::uint64_t seed;
+    std::uint64_t trace_hash;
+    sim::Round rounds;
+    sim::Round first_gathered;
+    std::uint64_t total_moves;
+  };
+  // Captured from the seed engine at commit dbf0492 (pre-scheduler),
+  // running the same ScenarioSpecs. Every run here resolves through the
+  // registry's explicit SynchronousScheduler instance, so both "no
+  // scheduler" and "synchronous scheduler" are pinned at once.
+  const Pinned pinned[] = {
+      {"ring", 12, 4, "adversarial", "faster", 42,
+       0xa69fd4bb54c2c53fULL, 54723ULL, 54720ULL, 822ULL},
+      {"torus", 12, 5, "dispersed", "faster", 7,
+       0x3665cc23ed2d109bULL, 14689ULL, 7719ULL, 936ULL},
+      {"random", 14, 4, "undispersed", "faster", 3,
+       0xb062aa2846a5d8beULL, 11432ULL, 11419ULL, 546ULL},
+      {"grid", 16, 9, "adversarial", "faster", 5,
+       0x812403775f82af3cULL, 34237ULL, 34234ULL, 1366ULL},
+      {"star", 9, 3, "one-node", "undispersed", 11,
+       0x995d072cdd647e10ULL, 3122ULL, 0ULL, 136ULL},
+      {"hypercube", 16, 4, "dispersed", "uxs", 2,
+       0x7344c3935fbb3d08ULL, 16384ULL, 55ULL, 28648ULL},
+  };
+  for (const Pinned& p : pinned) {
+    scenario::ScenarioSpec spec;
+    spec.family = p.family;
+    spec.n = p.n;
+    spec.k = p.k;
+    spec.placement = p.placement;
+    spec.algorithm = p.algorithm;
+    spec.seed = p.seed;
+    ASSERT_EQ(spec.scheduler, "synchronous");
+    const core::RunOutcome out = scenario::run_scenario(spec);
+    const std::string name = std::string(p.family) + "/" + p.algorithm;
+    EXPECT_EQ(out.result.metrics.trace_hash, p.trace_hash) << name;
+    EXPECT_EQ(out.result.metrics.rounds, p.rounds) << name;
+    EXPECT_EQ(out.result.metrics.first_gathered, p.first_gathered) << name;
+    EXPECT_EQ(out.result.metrics.total_moves, p.total_moves) << name;
+    EXPECT_TRUE(out.result.detection_correct) << name;
+    EXPECT_FALSE(out.result.false_announcement) << name;
+  }
+}
+
+TEST(SchedulerEquivalence, NullAndSynchronousSchedulerAgree) {
+  const graph::Graph g = graph::make_torus(3, 4);
+  const auto nodes = graph::nodes_undispersed_random(g, 4, 5);
+  const auto placement =
+      graph::make_placement(nodes, graph::labels_sequential(4));
+  core::RunSpec spec;
+  spec.config = core::make_config(g, uxs::make_covering_sequence(g, 3));
+  const core::RunOutcome none = core::run_gathering(g, placement, spec);
+  spec.scheduler = std::make_shared<sim::SynchronousScheduler>();
+  const core::RunOutcome sync = core::run_gathering(g, placement, spec);
+  EXPECT_EQ(none.result.metrics.trace_hash, sync.result.metrics.trace_hash);
+  EXPECT_EQ(none.result.metrics.rounds, sync.result.metrics.rounds);
+  EXPECT_EQ(none.result.metrics.total_message_bits,
+            sync.result.metrics.total_message_bits);
+  EXPECT_EQ(none.result.metrics.decision_calls,
+            sync.result.metrics.decision_calls);
+}
+
+// ---- 2. adversarial-delay == legacy DelayedRobot wrapper -----------------
+
+struct DelayRunOutcome {
+  bool threw = false;  ///< misalignment broke a protocol invariant
+  sim::RunResult result;
+  std::vector<sim::NodeId> positions;
+};
+
+core::AlgorithmConfig delay_config(const graph::Graph& g) {
+  core::AlgorithmConfig config;
+  config.n = g.num_nodes();
+  config.sequence = uxs::make_covering_sequence(g, 3);
+  return config;
+}
+
+sim::EngineConfig delay_engine_config(const graph::Graph& g,
+                                      const std::vector<sim::Round>& delays) {
+  const core::Schedule sched = core::Schedule::make(delay_config(g));
+  sim::Round max_delay = 0;
+  for (const sim::Round d : delays) max_delay = std::max(max_delay, d);
+  sim::EngineConfig cfg;
+  cfg.hard_cap = sched.hard_cap() + max_delay + 8;
+  return cfg;
+}
+
+DelayRunOutcome finish(sim::Engine& engine,
+                       const graph::Placement& placement) {
+  DelayRunOutcome out;
+  try {
+    out.result = engine.run();
+  } catch (const ContractViolation&) {
+    out.threw = true;
+    return out;
+  }
+  for (const graph::RobotStart& start : placement) {
+    out.positions.push_back(engine.position_of(start.label));
+  }
+  return out;
+}
+
+/// Legacy path: every robot wrapped in core::DelayedRobot, no scheduler.
+DelayRunOutcome run_legacy_delayed(const graph::Graph& g,
+                                   const graph::Placement& placement,
+                                   const std::vector<sim::Round>& delays) {
+  const core::AlgorithmConfig config = delay_config(g);
+  sim::Engine engine(g, delay_engine_config(g, delays));
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    auto inner = std::make_unique<core::FasterGatheringRobot>(
+        placement[i].label, config);
+    engine.add_robot(
+        std::make_unique<core::DelayedRobot>(std::move(inner), delays[i]),
+        placement[i].node);
+  }
+  return finish(engine, placement);
+}
+
+/// New path: plain robots, delays owned by AdversarialDelayScheduler.
+DelayRunOutcome run_scheduler_delayed(const graph::Graph& g,
+                                      const graph::Placement& placement,
+                                      const std::vector<sim::Round>& delays,
+                                      bool naive = false) {
+  const core::AlgorithmConfig config = delay_config(g);
+  sim::EngineConfig cfg = delay_engine_config(g, delays);
+  cfg.naive_stepping = naive;
+  cfg.scheduler = std::make_shared<sim::AdversarialDelayScheduler>(delays);
+  sim::Engine engine(g, cfg);
+  for (const graph::RobotStart& start : placement) {
+    engine.add_robot(
+        std::make_unique<core::FasterGatheringRobot>(start.label, config),
+        start.node);
+  }
+  return finish(engine, placement);
+}
+
+void expect_delay_paths_agree(const graph::Graph& g,
+                              const graph::Placement& placement,
+                              const std::vector<sim::Round>& delays,
+                              const std::string& name) {
+  const DelayRunOutcome legacy = run_legacy_delayed(g, placement, delays);
+  const DelayRunOutcome fresh = run_scheduler_delayed(g, placement, delays);
+  ASSERT_EQ(legacy.threw, fresh.threw) << name;
+  if (legacy.threw) return;
+  EXPECT_EQ(legacy.result.metrics.trace_hash, fresh.result.metrics.trace_hash)
+      << name;
+  EXPECT_EQ(legacy.result.metrics.rounds, fresh.result.metrics.rounds) << name;
+  EXPECT_EQ(legacy.result.metrics.total_moves,
+            fresh.result.metrics.total_moves)
+      << name;
+  EXPECT_EQ(legacy.positions, fresh.positions) << name;
+  EXPECT_EQ(legacy.result.gathered_at_end, fresh.result.gathered_at_end)
+      << name;
+  EXPECT_EQ(legacy.result.detection_correct, fresh.result.detection_correct)
+      << name;
+  EXPECT_EQ(legacy.result.hit_round_cap, fresh.result.hit_round_cap) << name;
+}
+
+TEST(AdversarialDelay, MatchesLegacyDelayedRobotOnMixedDelays) {
+  const graph::Graph g = graph::make_ring(8);
+  const auto nodes = graph::nodes_undispersed_random(g, 3, 5);
+  const auto placement =
+      graph::make_placement(nodes, graph::labels_sequential(3));
+  expect_delay_paths_agree(g, placement, {0, 3, 7}, "mixed");
+  expect_delay_paths_agree(g, placement, {0, 0, 0}, "zero");
+}
+
+TEST(AdversarialDelay, MatchesLegacyWhenAllRobotsDelayedPastRoundZero) {
+  // Nobody acts in round 0 — the engine must idle through the silent
+  // prefix exactly like the wrapper (which keeps slots nominally awake).
+  const graph::Graph g = graph::make_ring(8);
+  const auto nodes = graph::nodes_undispersed_random(g, 3, 5);
+  const auto placement =
+      graph::make_placement(nodes, graph::labels_sequential(3));
+  expect_delay_paths_agree(g, placement, {5, 9, 13}, "all-late");
+  // Uniform late start: alignment preserved, schedule intact.
+  const DelayRunOutcome zero = run_scheduler_delayed(g, placement, {0, 0, 0});
+  const DelayRunOutcome shifted =
+      run_scheduler_delayed(g, placement, {100, 100, 100});
+  ASSERT_FALSE(zero.threw);
+  ASSERT_FALSE(shifted.threw);
+  EXPECT_TRUE(shifted.result.detection_correct);
+  EXPECT_EQ(shifted.result.metrics.rounds, zero.result.metrics.rounds + 100);
+}
+
+TEST(AdversarialDelay, MatchesLegacyOnSingleRobot) {
+  const graph::Graph g = graph::make_path(5);
+  graph::Placement placement;
+  placement.push_back({2, 1});
+  expect_delay_paths_agree(g, placement, {11}, "single");
+  expect_delay_paths_agree(g, placement, {0}, "single-zero");
+}
+
+TEST(AdversarialDelay, MatchesLegacyOnDelayTies) {
+  // Tied wake rounds exercise simultaneous release: both paths must
+  // activate the tied robots in the same round with the same views.
+  const graph::Graph g = graph::make_torus(3, 3);
+  const auto nodes = graph::nodes_undispersed_random(g, 4, 2);
+  const auto placement = graph::make_placement(
+      nodes, graph::labels_random_distinct(4, g.num_nodes(), 2, 9));
+  expect_delay_paths_agree(g, placement, {6, 6, 6, 6}, "all-tied");
+  expect_delay_paths_agree(g, placement, {0, 4, 4, 0}, "pair-tied");
+}
+
+TEST(AdversarialDelay, SkipAndNaiveAgreeUnderDelays) {
+  const graph::Graph g = graph::make_ring(8);
+  const auto nodes = graph::nodes_undispersed_random(g, 3, 5);
+  const auto placement =
+      graph::make_placement(nodes, graph::labels_sequential(3));
+  const std::vector<sim::Round> delays = {2, 0, 6};
+  const DelayRunOutcome skip = run_scheduler_delayed(g, placement, delays);
+  const DelayRunOutcome naive =
+      run_scheduler_delayed(g, placement, delays, /*naive=*/true);
+  ASSERT_EQ(skip.threw, naive.threw);
+  ASSERT_FALSE(skip.threw);
+  EXPECT_EQ(skip.result.metrics.trace_hash, naive.result.metrics.trace_hash);
+  EXPECT_EQ(skip.result.metrics.rounds, naive.result.metrics.rounds);
+  EXPECT_EQ(skip.positions, naive.positions);
+}
+
+// ---- scripted robots for adversary semantics -----------------------------
+
+class ScriptedRobot final : public sim::Robot {
+ public:
+  using Script =
+      std::function<sim::Action(ScriptedRobot&, const sim::RoundView&)>;
+  ScriptedRobot(sim::RobotId id, Script script)
+      : sim::Robot(id), script_(std::move(script)) {}
+
+  sim::Action on_round(const sim::RoundView& view) override {
+    return script_(*this, view);
+  }
+
+ private:
+  Script script_;
+};
+
+/// The engine_test mixing script: phase-structured walking, waiting, and
+/// merge-on-meet following — exercises every engine path.
+ScriptedRobot::Script phased_script(sim::Round horizon) {
+  return [horizon](ScriptedRobot& self,
+                   const sim::RoundView& view) -> sim::Action {
+    if (view.round >= horizon) return sim::Action::terminate();
+    sim::RobotId biggest = 0;
+    for (const sim::RobotPublicState& s : view.colocated) {
+      if (s.id != self.id() && s.tag != sim::StateTag::Terminated)
+        biggest = std::max(biggest, s.id);
+    }
+    if (biggest > self.id()) return sim::Action::follow(biggest);
+    const sim::Round phase = view.round / 7;
+    if ((phase + self.id()) % 3 == 0) {
+      const sim::Round boundary =
+          std::min(horizon, (view.round / 7 + 1) * 7);
+      return sim::Action::stay_until_round(boundary);
+    }
+    const auto port =
+        static_cast<sim::Port>((view.round + self.id()) % view.degree);
+    return sim::Action::move(port);
+  };
+}
+
+struct ScriptedRun {
+  sim::RunResult result;
+  std::vector<sim::NodeId> positions;
+  std::vector<std::uint64_t> moves;
+};
+
+ScriptedRun run_scripted(const graph::Graph& g, std::size_t k,
+                         sim::Round horizon,
+                         std::shared_ptr<const sim::Scheduler> scheduler,
+                         bool naive, sim::Round hard_cap = 20000) {
+  sim::EngineConfig cfg;
+  cfg.hard_cap = hard_cap;
+  cfg.naive_stepping = naive;
+  cfg.scheduler = std::move(scheduler);
+  sim::Engine engine(g, cfg);
+  for (sim::RobotId id = 1; id <= k; ++id) {
+    engine.add_robot(
+        std::make_unique<ScriptedRobot>(id, phased_script(horizon)),
+        static_cast<graph::NodeId>((id * 7) % g.num_nodes()));
+  }
+  ScriptedRun out;
+  out.result = engine.run();
+  for (sim::RobotId id = 1; id <= k; ++id) {
+    out.positions.push_back(engine.position_of(id));
+    out.moves.push_back(out.result.metrics.moves_per_robot[id - 1]);
+  }
+  return out;
+}
+
+// ---- 3. skip-vs-naive equivalence under every adversary ------------------
+
+TEST(SchedulerEquivalence, SkipAndNaiveAgreeUnderEveryAdversary) {
+  const graph::Graph g = graph::make_random_connected(16, 24, 3);
+  const std::vector<
+      std::pair<std::string, std::shared_ptr<const sim::Scheduler>>>
+      adversaries = {
+          {"synchronous", std::make_shared<sim::SynchronousScheduler>()},
+          {"adversarial-delay",
+           std::make_shared<sim::AdversarialDelayScheduler>(
+               std::vector<sim::Round>{3, 0, 9, 1, 6})},
+          {"semi-synchronous",
+           std::make_shared<sim::SemiSynchronousScheduler>(17, 3)},
+          {"crash-fault",
+           std::make_shared<sim::CrashFaultScheduler>(
+               std::vector<sim::Round>{sim::kNoRound, 40, sim::kNoRound,
+                                       sim::kNoRound, 12})},
+      };
+  for (const auto& [name, adversary] : adversaries) {
+    const ScriptedRun skip = run_scripted(g, 5, 131, adversary, false);
+    const ScriptedRun naive = run_scripted(g, 5, 131, adversary, true);
+    EXPECT_EQ(skip.result.metrics.trace_hash, naive.result.metrics.trace_hash)
+        << name;
+    EXPECT_EQ(skip.result.metrics.rounds, naive.result.metrics.rounds) << name;
+    EXPECT_EQ(skip.positions, naive.positions) << name;
+    EXPECT_EQ(skip.moves, naive.moves) << name;
+    EXPECT_EQ(skip.result.all_terminated, naive.result.all_terminated) << name;
+    EXPECT_EQ(skip.result.false_announcement, naive.result.false_announcement)
+        << name;
+  }
+}
+
+// ---- semi-synchronous: fairness and determinism --------------------------
+
+TEST(SemiSynchronous, FairnessBoundsConsecutiveSuppression) {
+  // A robot that wants to act every round: gaps between the rounds it
+  // actually observes must never exceed the fairness window.
+  const sim::Round fairness = 4;
+  const graph::Graph g = graph::make_ring(6);
+  std::vector<sim::Round> seen;
+  auto greedy = [&seen](ScriptedRobot&, const sim::RoundView& view) {
+    seen.push_back(view.round);
+    if (view.round >= 200) return sim::Action::terminate();
+    return sim::Action::stay_one(view.round);
+  };
+  sim::EngineConfig cfg;
+  cfg.hard_cap = 1000;
+  cfg.scheduler = std::make_shared<sim::SemiSynchronousScheduler>(5, fairness);
+  sim::Engine engine(g, cfg);
+  engine.add_robot(std::make_unique<ScriptedRobot>(1, greedy), 0);
+  const sim::RunResult result = engine.run();
+  EXPECT_TRUE(result.all_terminated);
+  ASSERT_GE(seen.size(), 2u);
+  bool suppressed_at_least_once = false;
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_LE(seen[i] - seen[i - 1], fairness) << "gap at activation " << i;
+    suppressed_at_least_once |= seen[i] - seen[i - 1] > 1;
+  }
+  EXPECT_TRUE(suppressed_at_least_once)
+      << "adversary never suppressed anything — not semi-synchronous";
+}
+
+TEST(SemiSynchronous, FairnessOneIsSynchronous) {
+  const graph::Graph g = graph::make_random_connected(12, 18, 1);
+  const auto sync = run_scripted(
+      g, 4, 90, std::make_shared<sim::SynchronousScheduler>(), false);
+  const auto ssync = run_scripted(
+      g, 4, 90, std::make_shared<sim::SemiSynchronousScheduler>(99, 1),
+      false);
+  EXPECT_EQ(sync.result.metrics.trace_hash, ssync.result.metrics.trace_hash);
+  EXPECT_EQ(sync.result.metrics.rounds, ssync.result.metrics.rounds);
+}
+
+// ---- crash-fault: freezing and detection soundness -----------------------
+
+TEST(CrashFault, CrashedRobotFreezesAndNeverTerminates) {
+  // Two walkers on a ring; robot 2 crashes at round 10. It must stop
+  // moving there and then, keep occupying its node, and the run must end
+  // with it un-terminated (all_terminated false) — not deadlock.
+  const graph::Graph g = graph::make_ring(8);
+  auto walker = [](ScriptedRobot&, const sim::RoundView& view) {
+    if (view.round >= 50) return sim::Action::terminate();
+    return sim::Action::move(0);
+  };
+  sim::EngineConfig cfg;
+  cfg.hard_cap = 200;
+  cfg.scheduler = std::make_shared<sim::CrashFaultScheduler>(
+      std::vector<sim::Round>{sim::kNoRound, 10});
+  sim::Engine engine(g, cfg);
+  engine.add_robot(std::make_unique<ScriptedRobot>(1, walker), 0);
+  engine.add_robot(std::make_unique<ScriptedRobot>(2, walker), 4);
+  const sim::RunResult result = engine.run();
+  EXPECT_FALSE(result.all_terminated);
+  EXPECT_FALSE(result.detection_correct);
+  EXPECT_FALSE(result.hit_round_cap);
+  // 10 moves in rounds 0..9, frozen afterwards; the survivor ran its
+  // full 50-move program.
+  EXPECT_EQ(result.metrics.moves_per_robot[1], 10u);
+  EXPECT_EQ(result.metrics.moves_per_robot[0], 50u);
+}
+
+TEST(CrashFault, AnnouncementAwayFromCrashedRobotIsFlagged) {
+  // Robot 1 terminates at its node while robot 2 (crashed at round 0)
+  // sits elsewhere: a false announcement the engine must record.
+  const graph::Graph g = graph::make_path(4);
+  auto announcer = [](ScriptedRobot&, const sim::RoundView& view) {
+    if (view.round >= 2) return sim::Action::terminate();
+    return sim::Action::stay_one(view.round);
+  };
+  sim::EngineConfig cfg;
+  cfg.hard_cap = 100;
+  cfg.scheduler = std::make_shared<sim::CrashFaultScheduler>(
+      std::vector<sim::Round>{sim::kNoRound, 0});
+  sim::Engine engine(g, cfg);
+  engine.add_robot(std::make_unique<ScriptedRobot>(1, announcer), 0);
+  engine.add_robot(std::make_unique<ScriptedRobot>(2, announcer), 3);
+  const sim::RunResult result = engine.run();
+  EXPECT_TRUE(result.false_announcement);
+  EXPECT_FALSE(result.detection_correct);
+  EXPECT_FALSE(result.all_terminated);
+}
+
+TEST(CrashFault, EarlyCrashStopsFasterGatheringFromTerminating) {
+  // The full algorithm under a round-0 crash: survivors may or may not
+  // assemble, but the run must never report complete detection, because
+  // the crashed robot cannot announce.
+  scenario::ScenarioSpec spec;
+  spec.family = "torus";
+  spec.n = 12;
+  spec.k = 4;
+  spec.scheduler = "crash-fault";
+  spec.scheduler_params.set("crashes", "1");
+  spec.scheduler_params.set("window", "0");
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    spec.seed = seed;
+    try {
+      const core::RunOutcome out = scenario::run_scenario(spec);
+      EXPECT_FALSE(out.result.all_terminated) << "seed " << seed;
+      EXPECT_FALSE(out.result.detection_correct) << "seed " << seed;
+    } catch (const ContractViolation&) {
+      // Acceptable: the protocol's invariants assume fault-free peers.
+    }
+  }
+}
+
+// ---- registry / scenario integration -------------------------------------
+
+TEST(SchedulerRegistry, EverySchedulerResolvesAndRuns) {
+  for (const std::string& name : scenario::schedulers().list()) {
+    scenario::ScenarioSpec spec;
+    spec.family = "ring";
+    spec.n = 8;
+    spec.k = 3;
+    spec.placement = "one-node";
+    spec.scheduler = name;
+    try {
+      const core::RunOutcome out = scenario::run_scenario(spec);
+      // Whatever the adversary did, the engine must never claim correct
+      // detection while also recording a false announcement.
+      EXPECT_FALSE(out.result.detection_correct &&
+                   out.result.false_announcement)
+          << name;
+    } catch (const ContractViolation&) {
+      // Adversarial schedules may break protocol invariants; that is a
+      // visible failure, not a silent wrong answer.
+    }
+  }
+}
+
+TEST(SchedulerRegistry, DegenerateParameterizationsAreNotAdversarial) {
+  // Harnesses key violation tolerance on adversarial(): a scheduler
+  // that cannot perturb the run must never swallow a ContractViolation.
+  EXPECT_FALSE(sim::SynchronousScheduler().adversarial());
+  EXPECT_FALSE(
+      sim::AdversarialDelayScheduler(std::vector<sim::Round>{0, 0, 0})
+          .adversarial());
+  EXPECT_TRUE(
+      sim::AdversarialDelayScheduler(std::vector<sim::Round>{0, 4, 0})
+          .adversarial());
+  EXPECT_FALSE(sim::SemiSynchronousScheduler(7, 1).adversarial());
+  EXPECT_TRUE(sim::SemiSynchronousScheduler(7, 2).adversarial());
+  EXPECT_FALSE(sim::CrashFaultScheduler(
+                   std::vector<sim::Round>{sim::kNoRound, sim::kNoRound})
+                   .adversarial());
+  EXPECT_TRUE(
+      sim::CrashFaultScheduler(std::vector<sim::Round>{sim::kNoRound, 5})
+          .adversarial());
+  EXPECT_FALSE(sim::CrashFaultScheduler(9, /*crashes=*/0, /*window=*/64,
+                                        /*k=*/3)
+                   .adversarial());
+}
+
+TEST(SchedulerRegistry, UnknownNamesAndParamsAreSuggested) {
+  scenario::ScenarioSpec spec;
+  spec.family = "ring";
+  spec.n = 8;
+  spec.k = 2;
+  spec.scheduler = "synchronos";
+  try {
+    (void)scenario::resolve(spec);
+    FAIL() << "expected ScenarioError";
+  } catch (const scenario::ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("synchronous"), std::string::npos)
+        << e.what();
+  }
+  spec.scheduler = "crash-fault";
+  spec.scheduler_params.set("crashs", "1");
+  try {
+    (void)scenario::resolve(spec);
+    FAIL() << "expected ScenarioError";
+  } catch (const scenario::ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("crashes"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- 4. every family × every adversary -----------------------------------
+
+TEST(SchedulerProperty, DetectionStaysSoundAcrossFamiliesAndAdversaries) {
+  // The tentpole property: for every registered graph family and every
+  // adversary, Faster-Gathering either detects correctly, or fails
+  // *visibly* (cap, missing terminations, detection_correct false, or a
+  // protocol violation) — it never claims success on a broken run, and
+  // under the synchronous adversary it must fully succeed. Small
+  // instances, explicit cap, parallel execution.
+  struct Adversary {
+    const char* name;
+    const char* params;  // "key=value,..." or ""
+  };
+  const Adversary adversaries[] = {
+      {"synchronous", ""},
+      {"adversarial-delay", "max-delay=6"},
+      {"semi-synchronous", "fairness=3"},
+      {"crash-fault", "crashes=1,window=6"},
+  };
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const std::string& family : scenario::graph_families().list()) {
+    if (family == "file") continue;
+    for (const Adversary& adversary : adversaries) {
+      scenario::ScenarioSpec spec;
+      spec.family = family;
+      spec.n = 10;
+      spec.k = 3;
+      spec.placement = "undispersed";
+      spec.scheduler = adversary.name;
+      spec.scheduler_params = scenario::Params::parse(adversary.params);
+      spec.seed = 7;
+      specs.push_back(std::move(spec));
+    }
+  }
+  std::vector<std::string> failures(specs.size());
+  support::parallel_for_index(
+      specs.size(), support::default_thread_count(), [&](std::size_t i) {
+        const scenario::ScenarioSpec& spec = specs[i];
+        const std::string name = spec.family + "/" + spec.scheduler;
+        try {
+          const core::RunOutcome out = scenario::run_scenario(spec);
+          const sim::RunResult& result = out.result;
+          if (result.detection_correct && result.false_announcement) {
+            failures[i] = name + ": detection claimed with false announcement";
+          }
+          if (spec.scheduler == "synchronous" &&
+              (!result.detection_correct || result.false_announcement)) {
+            failures[i] = name + ": synchronous run must detect correctly";
+          }
+          if (spec.scheduler == "crash-fault" && result.all_terminated) {
+            failures[i] = name + ": a crashed robot cannot terminate";
+          }
+        } catch (const ContractViolation&) {
+          // Visible failure under an adversary: acceptable for the three
+          // adversarial schedulers, a bug under the synchronous one.
+          if (spec.scheduler == "synchronous") {
+            failures[i] = name + ": contract violation without an adversary";
+          }
+        }
+      });
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_TRUE(failures[i].empty()) << failures[i];
+  }
+}
+
+// ---- sweep integration ----------------------------------------------------
+
+TEST(SchedulerSweep, GridsOverAdversariesDeterministically) {
+  scenario::SweepSpec sweep;
+  sweep.base.family = "ring";
+  sweep.base.n = 8;
+  sweep.base.k = 3;
+  sweep.base.placement = "undispersed";
+  sweep.base.seed = 4;
+  sweep.schedulers = scenario::schedulers().list();
+  sweep.tolerate_protocol_violations = true;
+  sweep.threads = 4;
+  const std::vector<scenario::SweepRow> rows =
+      scenario::SweepRunner::run(sweep);
+  ASSERT_EQ(rows.size(), scenario::schedulers().list().size());
+  bool saw_synchronous_success = false;
+  for (const scenario::SweepRow& row : rows) {
+    if (row.spec.scheduler == "synchronous") {
+      EXPECT_TRUE(row.outcome.result.detection_correct);
+      EXPECT_FALSE(row.protocol_violation);
+      saw_synchronous_success = true;
+    }
+  }
+  EXPECT_TRUE(saw_synchronous_success);
+
+  std::ostringstream a, b;
+  scenario::SweepRunner::write_csv(a, rows);
+  sweep.threads = 1;
+  scenario::SweepRunner::write_csv(b, scenario::SweepRunner::run(sweep));
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("scheduler,"), std::string::npos);
+  EXPECT_NE(a.str().find("crash-fault"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gather

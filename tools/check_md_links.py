@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Markdown link lint: every relative link in the repo's documentation
+must resolve to an existing file (external URLs are left alone — CI has
+no business depending on the network). Run from anywhere:
+
+    python3 tools/check_md_links.py
+
+Exit status 0 = all links resolve; 1 = at least one broken link, each
+printed as file:line: target. Checked files: README.md, DESIGN.md,
+ROADMAP.md, CHANGES.md, docs/*.md.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images is not needed (same rule applies);
+# inline code spans are stripped first so `[i](j)` indexing examples in
+# code don't count as links.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN = re.compile(r"`[^`]*`")
+FENCE = re.compile(r"^(```|~~~)")
+
+
+def doc_files():
+    for name in ("README.md", "DESIGN.md", "ROADMAP.md", "CHANGES.md"):
+        path = ROOT / name
+        if path.exists():
+            yield path
+    yield from sorted((ROOT / "docs").glob("*.md"))
+
+
+def check(path: Path):
+    broken = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK.findall(CODE_SPAN.sub("", line)):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            if target.startswith("#"):  # intra-document anchor
+                continue
+            rel = target.split("#", 1)[0]
+            if not (path.parent / rel).exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main() -> int:
+    failures = 0
+    for path in doc_files():
+        for lineno, target in check(path):
+            print(f"{path.relative_to(ROOT)}:{lineno}: broken link: {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {len(list(doc_files()))} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
