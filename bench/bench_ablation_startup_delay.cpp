@@ -60,9 +60,12 @@ Tally run_with_delay(const graph::Graph& g, sim::Round max_delay,
     sim::RunResult result;
     try {
       result = engine.run();
-    } catch (const ContractViolation&) {
-      // Misaligned schedules can violate protocol invariants (e.g. a
-      // late helper misses its finder): count as full failure.
+    } catch (const ProtocolViolation&) {
+      // Misaligned schedules can violate robot-side protocol invariants
+      // (e.g. a late helper misses its finder): count as full failure.
+      // Only that class is a recordable outcome — any other contract or
+      // engine-invariant failure is a library bug and aborts the bench
+      // (see support/assert.hpp on the taxonomy).
       ++tally.runs;
       continue;
     }

@@ -4,11 +4,17 @@
 // graph (not k, m, or Δ). The optional fields implement the paper's
 // remarks: Remark 13 (known initial hop distance lets the algorithm run
 // the right step directly) and Remark 14 (known Δ shrinks the
-// i-Hop-Meeting cycles from Σ2(n-1)^j to Σ2Δ^j).
+// i-Hop-Meeting cycles from Σ2(n-1)^j to Σ2Δ^j). `fairness` extends the
+// common-knowledge set for the semi-synchronous model: like n, the
+// scheduler's fairness bound is announced to every robot, which is what
+// lets the paper's round-counting algorithms be *written against*
+// suppression (DESIGN.md §3.8) — fairness 1 is the paper's model and
+// leaves every budget and decision bit-identical.
 #pragma once
 
 #include <cstdint>
 
+#include "sim/types.hpp"
 #include "uxs/uxs.hpp"
 
 namespace gather::core {
@@ -34,10 +40,19 @@ struct AlgorithmConfig {
   /// initial configuration (-1 = unknown, run the full step ladder).
   int known_min_pair_distance = -1;
 
+  /// The scheduler's fairness bound, announced to the robots (1 = the
+  /// paper's synchronous model — every pending robot acts every round).
+  /// With fairness B > 1 the algorithms stretch their budgets and dwell
+  /// after arrivals so every co-located robot gets an activation before
+  /// a group moves on; all of it collapses to the exact synchronous
+  /// behaviour at B = 1.
+  sim::Round fairness = 1;
+
   [[nodiscard]] bool valid() const {
     if (n < 1) return false;
     if (id_exponent_b < 1) return false;
     if (delta_aware && known_delta < 1) return false;
+    if (fairness < 1) return false;
     return true;
   }
 };

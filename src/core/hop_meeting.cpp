@@ -25,7 +25,7 @@ BehaviorResult HopMeetingBehavior::result(Action action) const {
 
 BehaviorResult HopMeetingBehavior::step(const RoundView& view) {
   const Round r = view.round;
-  GATHER_EXPECTS(r >= start_ && r < end_);
+  GATHER_PROTOCOL(r >= start_ && r < end_);
 
   // "They meet and assemble there": freeze on any co-location.
   if (frozen_ || count_others(view, self_) > 0) {
@@ -47,7 +47,7 @@ BehaviorResult HopMeetingBehavior::step(const RoundView& view) {
   // Bit 1: exhaustive ball walk, then wait out the cycle.
   if (walker_cycle_ != cycle) {
     // A fresh walk must start exactly at a cycle boundary.
-    GATHER_INVARIANT(pos == 0);
+    GATHER_PROTOCOL(pos == 0);
     walker_.emplace(hop_);
     walker_cycle_ = cycle;
   }

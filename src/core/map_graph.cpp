@@ -24,9 +24,14 @@ MapGraph::MapNode MapGraph::add_node(std::uint32_t degree) {
 
 void MapGraph::resolve(MapNode u, sim::Port pu, MapNode v, sim::Port pv) {
   GATHER_EXPECTS(u < nodes_.size() && v < nodes_.size());
-  GATHER_EXPECTS(pu < nodes_[u].degree && pv < nodes_[v].degree);
-  GATHER_EXPECTS(!nodes_[u].ports[pu].resolved);
-  GATHER_EXPECTS(!nodes_[v].ports[pv].resolved);
+  // Protocol-class: the mapper derives these arguments from token
+  // sightings, and an adversarial schedule that shears the token
+  // protocol (misaligned starts, crashes) feeds inconsistent
+  // resolutions here — a recordable robot-side outcome, not a library
+  // bug (see support/assert.hpp on the taxonomy).
+  GATHER_PROTOCOL(pu < nodes_[u].degree && pv < nodes_[v].degree);
+  GATHER_PROTOCOL(!nodes_[u].ports[pu].resolved);
+  GATHER_PROTOCOL(!nodes_[v].ports[pv].resolved);
   nodes_[u].ports[pu] = PortSlot{true, v, pv};
   nodes_[v].ports[pv] = PortSlot{true, u, pu};
   resolved_half_edges_ += (u == v && pu == pv) ? 1 : 2;

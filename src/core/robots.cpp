@@ -26,8 +26,14 @@ Action FasterGatheringRobot::detection(const RoundView& view,
                                        Round next_stage_start) {
   // Lemma 11: at the end of a step either every robot is alone (nothing
   // happened) or every robot is gathered. Not alone => gathered => done.
+  // Terminated robots count as company: under suppression drift the
+  // group's clocks reach this round at different global times, and a
+  // peer that already terminated here proves gathering exactly as a live
+  // one does. (No-op under synchrony: a successful step terminates every
+  // robot simultaneously, so nobody ever sees a terminated peer here.)
   note_map_memory();
-  if (count_others(view, id()) > 0) {
+  // The view holds every occupant of this node, self included.
+  if (view.colocated.size() > 1) {
     return Action::terminate();
   }
   return Action::stay_until_round(next_stage_start);
@@ -45,13 +51,15 @@ Action FasterGatheringRobot::on_round(const RoundView& view) {
     ++stage_idx_;
   }
   const Stage& stage = stages[stage_idx_];
-  GATHER_INVARIANT(r >= stage.start && r < stage.start + stage.duration);
+  GATHER_PROTOCOL(r >= stage.start && r < stage.start + stage.duration);
 
   switch (stage.kind) {
     case StageKind::Undispersed: {
       const Round detect_round = stage.start + stage.duration - 1;
       if (r == detect_round) return detection(view, stage.start + stage.duration);
-      if (!ug_.has_value()) ug_.emplace(id(), config_.n, stage.start);
+      if (!ug_.has_value()) {
+        ug_.emplace(id(), config_.n, stage.start, config_.fairness);
+      }
       return apply(ug_->step(view));
     }
 
@@ -67,13 +75,15 @@ Action FasterGatheringRobot::on_round(const RoundView& view) {
         }
         return apply(hop_->step(view));
       }
-      if (!ug_.has_value()) ug_.emplace(id(), config_.n, ug_start);
+      if (!ug_.has_value()) {
+        ug_.emplace(id(), config_.n, ug_start, config_.fairness);
+      }
       return apply(ug_->step(view));
     }
 
     case StageKind::UxsGathering: {
       if (!uxs_.has_value()) {
-        uxs_.emplace(id(), config_.sequence, stage.start);
+        uxs_.emplace(id(), config_.sequence, stage.start, config_.fairness);
       }
       return apply(uxs_->step(view));
     }
@@ -83,8 +93,9 @@ Action FasterGatheringRobot::on_round(const RoundView& view) {
 
 // ---- UndispersedGatheringRobot ---------------------------------------------
 
-UndispersedGatheringRobot::UndispersedGatheringRobot(RobotId id, std::size_t n)
-    : sim::Robot(id), ug_(id, n, 0) {
+UndispersedGatheringRobot::UndispersedGatheringRobot(RobotId id, std::size_t n,
+                                                     Round fairness)
+    : sim::Robot(id), ug_(id, n, 0, fairness) {
   end_ = ug_.end_round();
 }
 
@@ -101,8 +112,9 @@ Action UndispersedGatheringRobot::on_round(const RoundView& view) {
 
 // ---- UxsGatheringRobot ------------------------------------------------------
 
-UxsGatheringRobot::UxsGatheringRobot(RobotId id, uxs::SequencePtr sequence)
-    : sim::Robot(id), behavior_(id, std::move(sequence), 0) {}
+UxsGatheringRobot::UxsGatheringRobot(RobotId id, uxs::SequencePtr sequence,
+                                     Round fairness)
+    : sim::Robot(id), behavior_(id, std::move(sequence), 0, fairness) {}
 
 Action UxsGatheringRobot::on_round(const RoundView& view) {
   const BehaviorResult r = behavior_.step(view);

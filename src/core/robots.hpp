@@ -50,7 +50,7 @@ class FasterGatheringRobot final : public sim::Robot {
 
 class UndispersedGatheringRobot final : public sim::Robot {
  public:
-  UndispersedGatheringRobot(RobotId id, std::size_t n);
+  UndispersedGatheringRobot(RobotId id, std::size_t n, Round fairness = 1);
 
   [[nodiscard]] Action on_round(const RoundView& view) override;
 
@@ -67,7 +67,7 @@ class UndispersedGatheringRobot final : public sim::Robot {
 
 class UxsGatheringRobot final : public sim::Robot {
  public:
-  UxsGatheringRobot(RobotId id, uxs::SequencePtr sequence);
+  UxsGatheringRobot(RobotId id, uxs::SequencePtr sequence, Round fairness = 1);
 
   [[nodiscard]] Action on_round(const RoundView& view) override;
 

@@ -45,20 +45,19 @@ RunOutcome run_gathering(const graph::Graph& g,
   } else if (spec.algorithm == AlgorithmKind::UndispersedOnly) {
     if (cap == 0) {
       cap = support::sat_add(
-          support::sat_add(Schedule::map_budget(spec.config.n),
-                           2 * static_cast<sim::Round>(spec.config.n)),
-          8);
+          Schedule::ug_total(spec.config.n, spec.config.fairness), 8);
     }
   } else {
     GATHER_EXPECTS(spec.config.sequence != nullptr);
-    const sim::Round t = spec.config.sequence->length();
-    // Leaders finish by phase maxbits+1; +slack.
+    // Leaders finish by phase maxbits+1; half-phases are fairness-
+    // stretched (H = T·stretch); +slack.
     AlgorithmConfig probe = spec.config;
     probe.known_min_pair_distance = 6;  // schedule with only the UXS stage
     sched = Schedule::make(probe);
     if (cap == 0) {
       cap = support::sat_add(
-          support::sat_mul(2 * t, static_cast<sim::Round>(sched->maxbits()) + 2),
+          support::sat_mul(2 * sched->uxs_half_phase(),
+                           static_cast<sim::Round>(sched->maxbits()) + 2),
           64);
     }
   }
@@ -88,16 +87,17 @@ RunOutcome run_gathering(const graph::Graph& g,
         break;
       }
       case AlgorithmKind::UndispersedOnly: {
-        auto robot = std::make_unique<UndispersedGatheringRobot>(start.label,
-                                                                 spec.config.n);
+        auto robot = std::make_unique<UndispersedGatheringRobot>(
+            start.label, spec.config.n, spec.config.fairness);
         ug_robots.push_back(robot.get());
         engine.add_robot(std::move(robot), start.node);
         break;
       }
       case AlgorithmKind::UxsOnly: {
-        engine.add_robot(std::make_unique<UxsGatheringRobot>(
-                             start.label, spec.config.sequence),
-                         start.node);
+        engine.add_robot(
+            std::make_unique<UxsGatheringRobot>(
+                start.label, spec.config.sequence, spec.config.fairness),
+            start.node);
         break;
       }
     }
@@ -116,7 +116,12 @@ RunOutcome run_gathering(const graph::Graph& g,
     outcome.peak_map_bits = std::max(outcome.peak_map_bits, robot->map_bits());
   }
 
-  // Attribute the gathering round to a schedule stage.
+  // Attribute the gathering round to a schedule stage. Stage boundaries
+  // are robot-local; first_gathered is global. They coincide under every
+  // non-suppressing scheduler; under suppression (fairness > 1) global
+  // time runs ahead of every local clock, so the attribution is an
+  // upper bound on the resolving stage — fine for the regime tables,
+  // which only run it synchronously.
   if (sched.has_value() &&
       outcome.result.metrics.first_gathered != sim::kNoRound) {
     const sim::Round when = outcome.result.metrics.first_gathered;

@@ -42,7 +42,11 @@ struct RunSpec {
   sim::Round hard_cap = 0;
   /// Scheduling adversary (sim/scheduler.hpp); null = synchronous. A
   /// derived hard cap is stretched by the scheduler's extend_cap() so
-  /// delayed/suppressed schedules get the slack they shift into.
+  /// delayed/suppressed schedules get the slack they shift into. For a
+  /// suppressing scheduler, set config.fairness to its fairness_bound()
+  /// (scenario::resolve does) so the robots run their SSYNC-tolerant
+  /// budgets; leaving it at 1 runs the paper's synchronous program, which
+  /// breaks its protocol invariants under suppression.
   std::shared_ptr<const sim::Scheduler> scheduler;
 };
 

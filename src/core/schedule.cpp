@@ -1,5 +1,7 @@
 #include "core/schedule.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 #include "support/math.hpp"
 
@@ -20,9 +22,35 @@ Round Schedule::map_budget(std::size_t n) {
                  sat_add(sat_mul(2, nn), 8));
 }
 
-Round Schedule::undispersed_total() const {
-  return sat_add(map_budget(n_), sat_mul(2, static_cast<Round>(n_)));
+Round Schedule::stretch_factor(Round fairness) {
+  return fairness > 1 ? sat_add(fairness, 1) : 1;
 }
+
+Round Schedule::ug_phase2(std::size_t n, Round fairness) {
+  return sat_mul(map_budget(n), stretch_factor(fairness));
+}
+
+Round Schedule::ug_tour_start(std::size_t n, Round fairness) {
+  // Settling buffer: a robot reaches local time t no earlier than global
+  // round t and no later than global round fairness·t, so by the time
+  // the finder's clock reads phase2·fairness every other robot's clock
+  // has passed phase2 — its phase-2 capture rules are live before the
+  // first tour visit. Collapses to phase2 at fairness 1.
+  return sat_mul(ug_phase2(n, fairness), std::max<Round>(1, fairness));
+}
+
+Round Schedule::ug_total(std::size_t n, Round fairness) {
+  // The tour itself: 2(n-1) moves, each preceded by a dwell. The outer
+  // fairness factor is the same local-vs-global argument as
+  // ug_tour_start: no robot may hit its termination deadline before the
+  // slowest finder has had enough activations to finish the tour.
+  const Round f = std::max<Round>(1, fairness);
+  const Round tour =
+      sat_mul(sat_mul(2, static_cast<Round>(n)), stretch_factor(fairness));
+  return sat_mul(sat_add(ug_tour_start(n, fairness), tour), f);
+}
+
+Round Schedule::undispersed_total() const { return ug_total(n_, fairness_); }
 
 Round Schedule::cycle_len(unsigned hop) const {
   Round total = 0;
@@ -34,6 +62,10 @@ Round Schedule::cycle_len(unsigned hop) const {
 
 Round Schedule::hop_len(unsigned hop) const {
   return sat_mul(cycle_len(hop), maxbits_);
+}
+
+Round Schedule::uxs_half_phase() const {
+  return sat_mul(uxs_T_, stretch_factor(fairness_));
 }
 
 Round Schedule::uxs_start() const {
@@ -52,6 +84,7 @@ Schedule Schedule::make(const AlgorithmConfig& config) {
               support::bit_width_u64(static_cast<std::uint64_t>(config.n)));
   s.base_ = config.delta_aware ? static_cast<Round>(config.known_delta)
                                : static_cast<Round>(config.n) - 1;
+  s.fairness_ = std::max<Round>(1, config.fairness);
   s.uxs_T_ = config.sequence ? config.sequence->length() : 0;
 
   // Build the stage ladder. Default (§2.3 Faster-Gathering):
@@ -81,10 +114,11 @@ Schedule Schedule::make(const AlgorithmConfig& config) {
          sat_add(s.hop_len(static_cast<unsigned>(d)), r_total));
   }
   // The UXS stage is always present: it is the certified terminating
-  // catch-all (§2.1 detects and terminates on its own).
+  // catch-all (§2.1 detects and terminates on its own). Half-phases are
+  // H = T · stretch so explorers can afford a dwell per walk step.
   GATHER_EXPECTS(s.uxs_T_ >= 1);
   const Round uxs_total =
-      sat_add(sat_mul(sat_mul(2, s.uxs_T_), s.maxbits_ + 1), 1);
+      sat_add(sat_mul(sat_mul(2, s.uxs_half_phase()), s.maxbits_ + 1), 1);
   push(StageKind::UxsGathering, 0, uxs_total);
 
   s.hard_cap_ = sat_add(at, 64);

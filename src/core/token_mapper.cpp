@@ -54,7 +54,7 @@ std::optional<TokenMapper::Decision> TokenMapper::on_round(
           map_pos_ = map_->endpoint(map_pos_, port).first;
           return Decision{port, true};
         }
-        GATHER_INVARIANT(map_pos_ == task_u_);
+        GATHER_PROTOCOL(map_pos_ == task_u_);
         state_ = State::Cross;
         continue;
       }
@@ -67,7 +67,7 @@ std::optional<TokenMapper::Decision> TokenMapper::on_round(
 
       case State::AfterCross: {
         // We are at the unknown node x; the view describes x.
-        GATHER_INVARIANT(entry_port != sim::kNoPort);
+        GATHER_PROTOCOL(entry_port != sim::kNoPort);
         x_degree_ = degree;
         x_entry_ = entry_port;
         // Step back to u alone, leaving the token at x.
@@ -86,7 +86,7 @@ std::optional<TokenMapper::Decision> TokenMapper::on_round(
       case State::Tour: {
         if (token_here) {
           // Token sighted: x is the already-known node tour_pos_.
-          GATHER_INVARIANT(map_->degree(tour_pos_) == x_degree_);
+          GATHER_PROTOCOL(map_->degree(tour_pos_) == x_degree_);
           map_->resolve(task_u_, task_p_, tour_pos_, x_entry_);
           map_pos_ = tour_pos_;
           state_ = State::Select;
@@ -98,7 +98,7 @@ std::optional<TokenMapper::Decision> TokenMapper::on_round(
           return Decision{step.port, false};
         }
         // Tour exhausted without sighting the token: x is a new node.
-        GATHER_INVARIANT(tour_pos_ == task_u_);
+        GATHER_PROTOCOL(tour_pos_ == task_u_);
         const MapGraph::MapNode fresh = map_->add_node(x_degree_);
         map_->resolve(task_u_, task_p_, fresh, x_entry_);
         queue_ports(fresh, x_entry_);
@@ -114,8 +114,8 @@ std::optional<TokenMapper::Decision> TokenMapper::on_round(
           map_pos_ = map_->endpoint(map_pos_, port).first;
           return Decision{port, true};
         }
-        GATHER_INVARIANT(map_pos_ == map_->root());
-        GATHER_INVARIANT(map_->complete());
+        GATHER_PROTOCOL(map_pos_ == map_->root());
+        GATHER_PROTOCOL(map_->complete());
         state_ = State::Done;
         continue;
       }

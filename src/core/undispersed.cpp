@@ -6,10 +6,14 @@
 namespace gather::core {
 
 UndispersedBehavior::UndispersedBehavior(RobotId self, std::size_t n,
-                                         Round start)
-    : self_(self), n_(n), start_(start) {
-  phase2_ = start_ + Schedule::map_budget(n_);
-  end_ = phase2_ + 2 * static_cast<Round>(n_);
+                                         Round start, Round fairness)
+    : self_(self), n_(n), start_(start), fairness_(std::max<Round>(1, fairness)) {
+  phase2_ = start_ + Schedule::ug_phase2(n_, fairness_);
+  tour_start_ = start_ + Schedule::ug_tour_start(n_, fairness_);
+  end_ = start_ + Schedule::ug_total(n_, fairness_);
+  // Suppression tolerance: the finder's very first move must not outrun
+  // the helpers' first activations, so the behavior opens with one dwell.
+  dwell_left_ = fairness_ > 1 ? fairness_ : 0;
 }
 
 BehaviorResult UndispersedBehavior::result(Action action) const {
@@ -50,9 +54,9 @@ void UndispersedBehavior::assign_role(const RoundView& view) {
 }
 
 BehaviorResult UndispersedBehavior::step(const RoundView& view) {
-  GATHER_EXPECTS(view.round >= start_ && view.round < end_);
+  GATHER_PROTOCOL(view.round >= start_ && view.round < end_);
   if (role_ == Role::Unassigned) {
-    GATHER_INVARIANT(view.round == start_);
+    GATHER_PROTOCOL(view.round == start_);
     assign_role(view);
   }
   switch (role_) {
@@ -61,7 +65,7 @@ BehaviorResult UndispersedBehavior::step(const RoundView& view) {
     case Role::Waiter: return waiter_step(view);
     case Role::Unassigned: break;
   }
-  throw ContractViolation("unassigned role in UndispersedBehavior::step");
+  throw ProtocolViolation("unassigned role in UndispersedBehavior::step");
 }
 
 BehaviorResult UndispersedBehavior::finder_step(const RoundView& view) {
@@ -69,6 +73,30 @@ BehaviorResult UndispersedBehavior::finder_step(const RoundView& view) {
 
   if (r < phase2_) {
     // ---- Phase 1: map construction with the helper-group token ----------
+    // Suppression tolerance, part 1 — the start handshake: when this
+    // behavior follows an earlier stage (the Faster-Gathering ladder),
+    // clock drift can make the finder reach the stage boundary long
+    // before its co-located companions do; mapping before they have even
+    // assigned their helper roles strands the token. Hold the first move
+    // until every co-located robot broadcasts membership (Helper with
+    // this group id). Event-driven and empty at fairness 1, where all
+    // clocks agree and the handshake would never observe anything.
+    if (fairness_ > 1 && !mapper_.started()) {
+      for (const RobotPublicState& s : view.colocated) {
+        if (s.id == self_ || s.tag == StateTag::Terminated) continue;
+        if (s.tag != StateTag::Helper || s.group_id != self_) {
+          return result(Action::stay_one(r));
+        }
+      }
+    }
+    // Part 2: dwell fairness rounds after every arrival (>= fairness
+    // global rounds, since the local clock never outruns global time) so
+    // every co-located robot is activated — and its standing Follow
+    // registered — before the next move. Empty at fairness 1.
+    if (dwell_left_ > 0) {
+      --dwell_left_;
+      return result(Action::stay_one(r));
+    }
     bool token_here = false;
     for (const RobotPublicState& s : view.colocated) {
       if (s.id != self_ && s.tag == StateTag::Helper && s.group_id == self_) {
@@ -79,6 +107,7 @@ BehaviorResult UndispersedBehavior::finder_step(const RoundView& view) {
     const auto decision = mapper_.on_round(view.degree, view.entry_port,
                                            token_here);
     if (decision.has_value()) {
+      if (fairness_ > 1) dwell_left_ = fairness_;
       return result(Action::move(decision->port, decision->take_token));
     }
     // Map complete and home again: wait out the shared R1 budget.
@@ -87,10 +116,12 @@ BehaviorResult UndispersedBehavior::finder_step(const RoundView& view) {
 
   // ---- Phase 2: spanning-tree collection tour ---------------------------
   if (!tour_ready_) {
-    GATHER_INVARIANT(mapper_.finished());
+    GATHER_PROTOCOL(mapper_.finished());
     tour_ = mapper_.map().closed_tour(mapper_.map().root());
     tour_idx_ = 0;
     tour_ready_ = true;
+    // The first tour move must carry whatever sits at the root.
+    dwell_left_ = fairness_ > 1 ? fairness_ : 0;
   }
 
   // Capture rules first (evaluated on this round's snapshot view).
@@ -111,9 +142,21 @@ BehaviorResult UndispersedBehavior::finder_step(const RoundView& view) {
     return result(Action::stay_until_round(end_));
   }
 
-  // Not captured: continue (or finish) the tour.
+  // The settling buffer before the tour (empty at fairness 1): by local
+  // round tour_start_ every other robot has locally entered phase 2, so
+  // no visit can find a waiter still running its phase-1 rules.
+  if (r < tour_start_) {
+    return result(Action::stay_until_round(tour_start_));
+  }
+
+  // Not captured: continue (or finish) the tour, dwelling after arrivals.
   if (tour_idx_ < tour_.size()) {
+    if (dwell_left_ > 0) {
+      --dwell_left_;
+      return result(Action::stay_one(r));
+    }
     const MapGraph::TourStep step = tour_[tour_idx_++];
+    if (fairness_ > 1) dwell_left_ = fairness_;
     return result(Action::move(step.port, true));
   }
   return result(Action::stay_until_round(end_));
@@ -140,9 +183,27 @@ BehaviorResult UndispersedBehavior::helper_step(const RoundView& view) {
     return result(Action::follow(followed_));
   }
   if (followed_ != 0) {
+    // Under suppression our captor may reach its termination deadline
+    // while our clock still lags: it terminated at the gather node, so
+    // park here with it (unreachable under synchrony — all clocks agree).
+    for (const RobotPublicState& s : view.colocated) {
+      if (s.id == followed_ && s.tag == StateTag::Terminated) {
+        followed_ = 0;
+        return result(Action::stay_until_round(end_));
+      }
+    }
+    if (!is_colocated(view, followed_)) {
+      // Clock drift can let us capture onto a finder that is locally
+      // still in phase 1 and then lose it to a token-drop move. Sound
+      // recovery per Lemma 7's monotonicity: keep the (smaller) group
+      // id, park, and wait to be re-captured by the next tour that
+      // passes — the minimum-group finder's tour visits every node.
+      // Unreachable under synchrony, where phases agree globally.
+      followed_ = 0;
+      return result(Action::stay_until_round(end_));
+    }
     // Keep mirroring the robot we were captured by (it may itself have
     // parked, in which case we park with it).
-    GATHER_INVARIANT(is_colocated(view, followed_));
     return result(Action::follow(followed_));
   }
   return result(Action::stay_until_round(end_));

@@ -19,9 +19,22 @@
 // completes its tour in exactly 2(n-1) moves, and everyone ends at its
 // start node.
 //
-// The behavior covers rounds [start, start + R1 + 2n); the owner decides
-// at round start+R1+2n whether to terminate (standalone: always; inside
-// Faster-Gathering: the Lemma 11 alone/not-alone detection).
+// All rounds are the robot's LOCAL time (sim::RoundView). Under an
+// announced fairness bound B > 1 (the semi-synchronous model, DESIGN.md
+// §3.8) the behavior becomes suppression-tolerant without changing a
+// single synchronous decision: finders dwell B local rounds after every
+// arrival — at least B global rounds, so every co-located robot gets an
+// activation (and a standing Follow the engine can carry) before the
+// group moves on — the phase-2 boundary keeps its place but the
+// collection tour starts only at R1·(B+1)·B, after every waiter's local
+// clock provably passed phase 2, and the budgets stretch accordingly
+// (core::Schedule::ug_*). At B = 1 dwells are empty and all boundaries
+// collapse to the paper's.
+//
+// The behavior covers rounds [start, start + ug_total); the owner
+// decides at round start+ug_total whether to terminate (standalone:
+// always; inside Faster-Gathering: the Lemma 11 alone/not-alone
+// detection).
 #pragma once
 
 #include <optional>
@@ -35,10 +48,12 @@ namespace gather::core {
 class UndispersedBehavior {
  public:
   /// `n` is the number of nodes (known to robots); `start` the behavior's
-  /// first round.
-  UndispersedBehavior(RobotId self, std::size_t n, Round start);
+  /// first (local) round; `fairness` the announced scheduler fairness
+  /// bound (1 = the paper's synchronous model).
+  UndispersedBehavior(RobotId self, std::size_t n, Round start,
+                      Round fairness = 1);
 
-  /// Valid for view.round in [start, start + R1 + 2n).
+  /// Valid for view.round in [start, start + ug_total).
   [[nodiscard]] BehaviorResult step(const RoundView& view);
 
   /// Peak map memory (bits) — 0 for non-finders.
@@ -54,8 +69,13 @@ class UndispersedBehavior {
   RobotId self_;
   std::size_t n_;
   Round start_;
-  Round phase2_;  ///< start + R1
-  Round end_;     ///< start + R1 + 2n (the owner's decision round)
+  Round fairness_;    ///< announced fairness bound B (dwell length)
+  Round phase2_;      ///< start + R1·stretch
+  Round tour_start_;  ///< start + R1·stretch·B (== phase2_ at B = 1)
+  Round end_;         ///< start + ug_total (the owner's decision round)
+  /// Remaining dwell rounds before the finder's next move (always 0 at
+  /// fairness 1).
+  Round dwell_left_ = 0;
 
   Role role_ = Role::Unassigned;
   RobotId group_id_ = 0;

@@ -3,16 +3,27 @@
 // O(T·log L) rounds (T = exploration bound, L = largest label), i.e.
 // Õ(n^5) with the paper's T.
 //
-// Time is divided into phases of 2T rounds, aligned for all robots. In
-// phase p a group leader (a robot not following anyone) reads bit p of
-// its label (LSB first):
-//   bit 1 — explore with the UXS for T rounds, then wait T;
-//   bit 0 — wait T rounds, then explore for T.
+// Time is divided into phases of 2H rounds, aligned for all robots
+// (H = T at fairness 1). In phase p a group leader (a robot not
+// following anyone) reads bit p of its label (LSB first):
+//   bit 1 — explore with the UXS for T walk steps, then wait;
+//   bit 0 — wait the first half-phase, then explore.
 // Groups that meet merge: everyone follows the largest label present
 // (Follow = mirror its moves). A leader whose label has run out of bits
-// waits one whole 2T phase; if no robot with a larger label shows up
+// waits one whole 2H phase; if no robot with a larger label shows up
 // during that window it declares gathering complete and terminates
 // (Lemmas 1–3); followers terminate with their leader (Lemma 4).
+//
+// All rounds are robot-LOCAL time. Under an announced fairness bound
+// B > 1 (semi-synchronous, DESIGN.md §3.8) explorers dwell B local
+// rounds after every walk step — so a stationary smaller robot is
+// activated (and its standing Follow registered) before the walker moves
+// on — which is why the half-phase stretches to H = T·(B+1); the walk
+// position is a step counter, not phase arithmetic, so dwells never skip
+// sequence offsets. Followers additionally self-terminate when they see
+// their leader already Terminated (under drift the leader's clock may
+// reach detection first; unreachable under synchrony where followers
+// terminate with the leader in the same round).
 #pragma once
 
 #include "core/behavior.hpp"
@@ -22,25 +33,34 @@ namespace gather::core {
 
 class UxsGatheringBehavior {
  public:
-  /// Runs from round `start`; phase p spans [start + 2Tp, start + 2T(p+1)).
-  UxsGatheringBehavior(RobotId self, uxs::SequencePtr sequence, Round start);
+  /// Runs from round `start`; phase p spans [start + 2Hp, start + 2H(p+1))
+  /// with H = T · stretch(fairness) (core::Schedule::stretch_factor).
+  UxsGatheringBehavior(RobotId self, uxs::SequencePtr sequence, Round start,
+                       Round fairness = 1);
 
   /// Returns Terminate when §2.1's detection fires (leaders), or a Follow
   /// that resolves to the leader's termination (followers).
   [[nodiscard]] BehaviorResult step(const RoundView& view);
 
   /// Upper bound on the last round this behavior can act (for schedules):
-  /// start + 2T(maxbits+1) with maxbits ≥ bitlen of any label.
+  /// start + 2H(maxbits+1) with maxbits ≥ bitlen of any label.
   [[nodiscard]] Round phase_end(Round phase) const;
 
  private:
   RobotId self_;
   uxs::SequencePtr seq_;
   Round start_;
-  Round t_;  ///< exploration period T == sequence length
+  Round fairness_;  ///< announced fairness bound B
+  Round t_;         ///< exploration period T == sequence length
+  Round h_;         ///< half-phase H = T · stretch (T at fairness 1)
   bool following_ = false;
   RobotId leader_ = 0;
   unsigned bits_;  ///< natural bit length of own label
+  /// Explorer state: the walk step reached in walk_phase_ (dwells spend
+  /// rounds without advancing it).
+  Round walk_phase_ = sim::kNoRound;
+  Round walk_step_ = 0;
+  Round dwell_left_ = 0;
 
   [[nodiscard]] BehaviorResult leader_step(const RoundView& view);
   [[nodiscard]] BehaviorResult result(Action action) const;

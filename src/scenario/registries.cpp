@@ -284,9 +284,10 @@ SchedulerRegistry make_schedulers() {
           });
   reg.add("semi-synchronous",
           "adversarial subset activation: pending robots act at least "
-          "once every `fairness` rounds; the paper's round-counting "
-          "algorithms are not SSYNC-tolerant and violate immediately "
-          "(recorded per row) — use with round-robust programs",
+          "once every `fairness` rounds; robots run on activation-count "
+          "local clocks with the fairness bound as common knowledge, so "
+          "the paper's algorithms execute (and gather) instead of "
+          "violating immediately",
           {{"fairness", "fairness window in rounds (>= 1)", "4"}},
           [](std::size_t, const Params& p, std::uint64_t seed)
               -> std::shared_ptr<const sim::Scheduler> {

@@ -1,5 +1,7 @@
 #include "scenario/scenario.hpp"
 
+#include <algorithm>
+
 #include "graph/algorithms.hpp"
 #include "support/rng.hpp"
 
@@ -50,6 +52,12 @@ ResolvedScenario resolve(const ScenarioSpec& spec) {
   r.run_spec.record_trace = spec.record_trace;
   r.run_spec.scheduler = scheduler.factory(
       spec.k, spec.scheduler_params, sub_seed(spec.seed, SeedAxis::Scheduler));
+  // The scheduler's fairness bound is common knowledge, like n: it is
+  // what lets the algorithms run SSYNC-tolerant budgets under
+  // `semi-synchronous` instead of violating their protocol invariants
+  // (1 — every non-suppressing scheduler — leaves them untouched).
+  r.run_spec.config.fairness =
+      std::max<sim::Round>(1, r.run_spec.scheduler->fairness_bound());
   return r;
 }
 

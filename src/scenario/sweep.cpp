@@ -197,15 +197,18 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& sweep) {
         try {
           row.outcome = core::run_gathering(resolved.graph, resolved.placement,
                                             resolved.run_spec);
-        } catch (const ContractViolation&) {
+        } catch (const ProtocolViolation&) {
           // An adversarial scheduler can push the algorithms outside
           // their protocol invariants; with the tolerance flag set that
-          // is a recorded outcome, not a sweep abort. A violation under
-          // a scheduler that cannot perturb the run (synchronous, or a
-          // degenerate parameterization like max-delay=0) is an
-          // engine/algorithm bug and always propagates, tolerance or
-          // not — otherwise a mixed sweep would ship regressions as
-          // innocuous violation=1 rows.
+          // is a recorded outcome, not a sweep abort. Only the
+          // robot-side ProtocolViolation class is ever recorded: an
+          // EngineInvariantError (or any other ContractViolation) on an
+          // adversarial row is an engine/library bug and aborts the
+          // sweep instead of shipping as an innocuous violation=1 row.
+          // A protocol violation under a scheduler that cannot perturb
+          // the run (synchronous, or a degenerate parameterization like
+          // max-delay=0) is an algorithm bug and propagates regardless
+          // of the flag.
           const sim::Scheduler* sched = resolved.run_spec.scheduler.get();
           const bool benign = sched == nullptr || !sched->adversarial();
           if (!sweep.tolerate_protocol_violations || benign) throw;

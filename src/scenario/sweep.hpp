@@ -63,16 +63,19 @@ struct SweepSpec {
   /// is rethrown rather than returning an empty sweep.
   bool skip_infeasible = false;
 
-  /// When true, a ContractViolation thrown by the *simulation* (not by
-  /// resolution) under an ADVERSARIAL scheduler marks the row
-  /// `protocol_violation` instead of aborting the sweep — misaligned or
-  /// suppressed schedules can legitimately break protocol invariants
+  /// When true, a gather::ProtocolViolation thrown by the *simulation*
+  /// (not by resolution) under an ADVERSARIAL scheduler marks the row
+  /// `protocol_violation` instead of aborting the sweep — misaligned
+  /// schedules can legitimately break robot-side protocol invariants
   /// (e.g. a late helper misses its finder), and that breakage is the
-  /// measurement, not an error. A violation on a row whose scheduler
-  /// cannot actually perturb the run (Scheduler::adversarial() false:
-  /// synchronous, max-delay=0, fairness=1, zero crashes) is an
-  /// engine/algorithm bug and propagates regardless of this flag, so
-  /// mixed sweeps cannot record regressions as innocuous rows.
+  /// measurement, not an error. Only that class is recordable: a
+  /// gather::EngineInvariantError (engine state inconsistent) or any
+  /// other ContractViolation aborts the sweep, tolerance or not. A
+  /// protocol violation on a row whose scheduler cannot actually
+  /// perturb the run (Scheduler::adversarial() false: synchronous,
+  /// max-delay=0, fairness=1, zero crashes) is an algorithm bug and
+  /// propagates regardless of this flag, so mixed sweeps cannot record
+  /// regressions as innocuous rows.
   bool tolerate_protocol_violations = false;
 
   /// Worker threads; 0 = support::default_thread_count().

@@ -5,7 +5,9 @@
 // contract: the robot promises that, as long as the set of robots at its
 // node does not change, it would keep deciding "stay" up to (but not
 // including) round `until` — which lets the engine skip the quiet rounds
-// wholesale without changing observable behaviour.
+// wholesale without changing observable behaviour. `until` is expressed
+// in the robot's LOCAL time (RoundView::round — activations since
+// release); the engine owns the translation to global wake rounds.
 //
 // `Follow{leader}` models the face-to-face message "I am moving through
 // port p, come along" from a co-located leader: the follower's action
@@ -24,7 +26,7 @@ enum class ActionKind : std::uint8_t { Stay, Move, Follow, Terminate };
 
 struct Action {
   ActionKind kind = ActionKind::Stay;
-  Round stay_until = 0;        ///< Stay: wake deadline (absolute round)
+  Round stay_until = 0;        ///< Stay: wake deadline (robot-local round)
   Port port = kNoPort;         ///< Move: exit port
   bool take_followers = true;  ///< Move: do co-located followers come along?
   RobotId leader = 0;          ///< Follow: co-located robot to mirror

@@ -62,6 +62,10 @@ void Engine::add_robot(std::unique_ptr<Robot> robot, NodeId start) {
   terminated_.push_back(0);
   release_.push_back(release);
   crash_at_.push_back(crash);
+  local_.push_back(0);
+  synced_to_.push_back(release);
+  sleep_target_.push_back(kNoRound);
+  standing_follow_.push_back(0);
   occ_next_.push_back(kNoSlot);
   slots_by_id_.insert(it, slot);
 
@@ -110,6 +114,95 @@ bool Engine::heap_pop_next(Round& round) {
   return false;
 }
 
+void Engine::sync_local(std::uint32_t slot, Round r) {
+  // Lazy catch-up of the activation-count clock: every adversary-activated
+  // round in the skipped stretch ticked the clock, acted on or not.
+  // activates() is pure, so this recount agrees exactly with the
+  // round-by-round increments naive stepping performs.
+  Round g = synced_to_[slot];
+  if (g >= r) return;
+  Round ticks = 0;
+  const RobotId id = ids_[slot];
+  for (; g < r; ++g) {
+    if (sched_->activates(g, slot, id)) ++ticks;
+  }
+  local_[slot] += ticks;
+  synced_to_[slot] = r;
+}
+
+bool Engine::resolve_carry(std::uint32_t s, Round r) {
+  // The memo stamp doubles as the in-progress mark: a standing-follow
+  // cycle re-enters a stamped slot whose carry_has_ is still 0 and
+  // resolves to "not carried" for the whole cycle.
+  if (carry_stamp_[s] == r) return carry_has_[s] != 0;
+  carry_stamp_[s] = r;
+  carry_has_[s] = 0;
+  const RobotId leader_id = standing_follow_[s];
+  if (leader_id == 0) return false;
+  const std::uint32_t leader = find_slot(leader_id);
+  if (leader == kNoSlot) return false;
+  if (pos_[leader] != pos_[s]) return false;  // leader already departed
+  if (terminated_[leader] != 0) return false;
+  if (any_crash_ && r >= crash_at_[leader]) return false;
+  graph::HalfEdge edge{};
+  if (decision_stamp_[leader] == r) {
+    // Active leader: the follower mirrors its resolved concrete action.
+    const Action& act = resolved_[leader];
+    if (act.kind != ActionKind::Move || !act.take_followers) return false;
+    edge = graph_.traverse_unchecked(pos_[leader], act.port);
+  } else {
+    // Suppressed leader: carried iff it is itself carried.
+    if (!resolve_carry(leader, r)) return false;
+    edge = carry_edge_[leader];
+  }
+  carry_edge_[s] = edge;
+  carry_has_[s] = 1;
+  return true;
+}
+
+void Engine::collect_carried(Round r) {
+  // Slot order — deterministic across skip and naive stepping.
+  carried_.clear();
+  const std::size_t num_slots = decisions_.size();
+  for (std::uint32_t s = 0; s < num_slots; ++s) {
+    if (decision_stamp_[s] == r || terminated_[s] != 0) continue;
+    if (any_crash_ && r >= crash_at_[s]) continue;
+    if (standing_follow_[s] == 0) continue;
+    if (resolve_carry(s, r)) carried_.push_back(s);
+  }
+}
+
+std::size_t Engine::apply_carried(Round r, RunResult& result) {
+  // Same bookkeeping as an active move; hashed after the active set, in
+  // slot order, so skip and naive stepping fingerprint identically. The
+  // forced move voids any sleep promise — the robot re-decides next round.
+  auto& m = result.metrics;
+  for (const std::uint32_t s : carried_) {
+    const NodeId from = pos_[s];
+    const graph::HalfEdge h = carry_edge_[s];
+    occupants_erase(from, s);
+    occupants_insert(h.to, s);
+    pos_[s] = h.to;
+    entry_port_[s] = h.to_port;
+    ++move_count_[s];
+    touched_nodes_.push_back(from);
+    touched_nodes_.push_back(h.to);
+    hash_word(m.trace_hash, r);
+    hash_word(m.trace_hash, ids_[s]);
+    hash_word(m.trace_hash, (static_cast<std::uint64_t>(from) << 32) | h.to);
+    if (config_.record_trace && trace_.size() < config_.trace_limit) {
+      trace_.push_back(TraceEvent{r, ids_[s], from, h.to});
+    }
+    sleep_target_[s] = kNoRound;
+    if (!config_.naive_stepping) {
+      heap_push(r + 1, s);
+    } else {
+      wake_[s] = r + 1;
+    }
+  }
+  return carried_.size();
+}
+
 void Engine::occupants_insert(NodeId node, std::uint32_t slot) {
   // Splice into the node's list keeping label order (views are sorted).
   const RobotId id = ids_[slot];
@@ -151,6 +244,13 @@ RunResult Engine::run() {
   resolved_.assign(num_slots, Action{});
   resolved_stamp_.assign(num_slots, kNoRound);
   resolve_mark_.assign(num_slots, 0);
+  if (suppressing_) {
+    decided_stay_local_.assign(num_slots, 0);
+    carry_stamp_.assign(num_slots, kNoRound);
+    carry_has_.assign(num_slots, 0);
+    carry_edge_.assign(num_slots, graph::HalfEdge{});
+    carried_.reserve(num_slots);
+  }
   view_arena_.resize(num_slots);
   views_.resize(num_slots);
   node_view_.assign(graph_.num_nodes(), 0);
@@ -238,9 +338,23 @@ RunResult Engine::run() {
             heap_push(release_[slot], slot);  // dormant: woken by arrivals
             continue;
           }
-          if (suppressing && !sched_->activates(r, slot, ids_[slot])) {
-            heap_push(r + 1, slot);  // suppressed: deferred one round
-            continue;
+          if (suppressing) {
+            // Conservative wake, re-check on activation: catch the local
+            // clock up over the skipped stretch; if a sleep deadline is
+            // pending and local time still lags it (suppressed rounds
+            // did not tick), push the wake out by the remaining deficit.
+            sync_local(slot, r);
+            if (sleep_target_[slot] != kNoRound &&
+                local_[slot] < sleep_target_[slot]) {
+              heap_push(support::sat_add(r, sleep_target_[slot] - local_[slot]),
+                        slot);
+              continue;
+            }
+            if (!sched_->activates(r, slot, ids_[slot])) {
+              heap_push(r + 1, slot);  // suppressed: deferred one round
+              continue;
+            }
+            sleep_target_[slot] = kNoRound;  // promise consumed; re-deciding
           }
         }
         active_stamp_[slot] = r;
@@ -264,6 +378,16 @@ RunResult Engine::run() {
     const std::size_t movers = simulate_round(r, result);
 
     // ---- post-round bookkeeping -----------------------------------------
+    if (suppressing) {
+      // Every consulted slot experienced round r as one activation. In
+      // naive mode active_ is exactly the adversary-activated set, so the
+      // clocks stay exact; in skip mode sleeping slots catch up lazily
+      // through sync_local when they next pop.
+      for (const std::uint32_t s : active_) {
+        local_[s] += 1;
+        synced_to_[s] = r + 1;
+      }
+    }
     m.rounds = r;
     ++m.simulated_rounds;
     alive = count_alive(r);
@@ -319,21 +443,28 @@ Action Engine::resolve_action(std::uint32_t s, Round r) {
   // cycle detection via resolve_mark_.
   if (resolved_stamp_[s] == r) return resolved_[s];
   if (resolve_mark_[s] != 0)
-    throw ContractViolation("follow cycle detected at round " +
-                            std::to_string(r));
+    throw EngineInvariantError("follow cycle detected at round " +
+                               std::to_string(r));
   resolve_mark_[s] = 1;
   Action out;
   if (decision_stamp_[s] != r) {
-    // Sleeping robot: implied promise is Stay until its wake deadline.
+    // Sleeping robot: implied promise is Stay until its wake deadline
+    // (already a global round — translated when it was decided).
     out = Action::stay_until_round(wake_[s]);
   } else if (decisions_[s].kind != ActionKind::Follow) {
     out = decisions_[s];
   } else {
-    const std::uint32_t leader = slot_of(decisions_[s].leader);
+    // The engine builds the views robots pick leaders from, so a Follow
+    // naming an absent, non-co-located, or terminated robot means engine
+    // state is inconsistent (or the robot invented a label): an
+    // EngineInvariantError, never a recordable protocol outcome.
+    const std::uint32_t leader = find_slot(decisions_[s].leader);
+    if (leader == kNoSlot)
+      throw EngineInvariantError("robot follows unknown label");
     if (pos_[leader] != pos_[s])
-      throw ContractViolation("robot follows non-co-located leader");
+      throw EngineInvariantError("robot follows non-co-located leader");
     if (terminated_[leader] != 0)
-      throw ContractViolation("robot follows terminated leader");
+      throw EngineInvariantError("robot follows terminated leader");
     if (any_crash_ && r >= crash_at_[leader]) {
       // A crashed leader does nothing; the follower stays put and
       // re-decides next round. (Resolved here rather than through the
@@ -368,6 +499,56 @@ Action Engine::resolve_action(std::uint32_t s, Round r) {
   return out;
 }
 
+// One decision loop per clock mode. kClockSync: local == global (the
+// paper's model — the instruction stream the pinned trace hashes hold
+// to). kClockDelayed: local = r − τ, a bijection, so Stay deadlines
+// translate back exactly. kClockLocal (any suppressing scheduler, delays
+// included): local is the maintained activation-count clock, Stay
+// deadlines translate to *conservative* global wakes (local advances at
+// most one per round) that the collection loop re-checks, and the
+// decision is recorded as the slot's standing order for the carry pass.
+template <int Mode>
+void Engine::decide_all(Round r, RunMetrics& m) {
+  for (const std::uint32_t s : active_) {
+    RoundView view;
+    if constexpr (Mode == kClockDelayed) {
+      view.round = r - release_[s];
+    } else if constexpr (Mode == kClockLocal) {
+      view.round = local_[s];
+    } else {
+      view.round = r;
+    }
+    view.degree = graph_.degree(pos_[s]);
+    view.entry_port = entry_port_[s];
+    view.colocated = view_for(pos_[s], r);
+    const RobotId self = ids_[s];
+    for (const RobotPublicState& other : view.colocated) {
+      if (other.id == self) continue;
+      m.total_message_bits += support::bit_width_u64(other.id) +
+                              support::bit_width_u64(other.group_id) + 3;
+    }
+    decisions_[s] = robots_[s]->on_round(view);
+    if constexpr (Mode == kClockDelayed) {
+      if (decisions_[s].kind == ActionKind::Stay) {
+        decisions_[s].stay_until =
+            support::sat_add(decisions_[s].stay_until, release_[s]);
+      }
+    } else if constexpr (Mode == kClockLocal) {
+      standing_follow_[s] = decisions_[s].kind == ActionKind::Follow
+                                ? decisions_[s].leader
+                                : 0;
+      if (decisions_[s].kind == ActionKind::Stay) {
+        const Round until = decisions_[s].stay_until;
+        decided_stay_local_[s] = until;
+        decisions_[s].stay_until =
+            until > local_[s] ? support::sat_add(r, until - local_[s]) : r + 1;
+      }
+    }
+    decision_stamp_[s] = r;
+    ++m.decision_calls;
+  }
+}
+
 std::size_t Engine::simulate_round(Round r, RunResult& result) {
   auto& m = result.metrics;
   const bool any_delay = any_delay_;
@@ -382,49 +563,28 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
   for (const std::uint32_t s : active_) (void)view_for(pos_[s], r);
 
   // ---- decisions --------------------------------------------------------
-  // Stamped out twice (compile-time branch) so the synchronous path runs
-  // the exact pre-scheduler loop: the local-time translation costs two
-  // ops per decision, which BM_EngineMovementThroughput resolves.
-  const auto decide_all = [&](auto delay_tag) {
-    constexpr bool kDelayed = decltype(delay_tag)::value;
-    for (const std::uint32_t s : active_) {
-      RoundView view;
-      if constexpr (kDelayed) {
-        // A delayed robot runs in local time: it observes round r − τ
-        // and its Stay deadlines come back in local time, translated
-        // below. τ = 0 for every robot under the synchronous model.
-        view.round = r - release_[s];
-      } else {
-        view.round = r;
-      }
-      view.degree = graph_.degree(pos_[s]);
-      view.entry_port = entry_port_[s];
-      view.colocated = view_for(pos_[s], r);
-      const RobotId self = ids_[s];
-      for (const RobotPublicState& other : view.colocated) {
-        if (other.id == self) continue;
-        m.total_message_bits += support::bit_width_u64(other.id) +
-                                support::bit_width_u64(other.group_id) + 3;
-      }
-      decisions_[s] = robots_[s]->on_round(view);
-      if constexpr (kDelayed) {
-        if (decisions_[s].kind == ActionKind::Stay) {
-          decisions_[s].stay_until =
-              support::sat_add(decisions_[s].stay_until, release_[s]);
-        }
-      }
-      decision_stamp_[s] = r;
-      ++m.decision_calls;
-    }
-  };
-  if (any_delay) {
-    decide_all(std::true_type{});
+  // Stamped out three times (template, one out-of-line instantiation per
+  // clock mode) so the synchronous path runs the exact pre-scheduler
+  // loop without the other modes' code inflating the hot function.
+  if (suppressing) {
+    decide_all<kClockLocal>(r, m);
+  } else if (any_delay) {
+    decide_all<kClockDelayed>(r, m);
   } else {
-    decide_all(std::false_type{});
+    decide_all<kClockSync>(r, m);
   }
 
   // ---- resolve follow chains ---------------------------------------------
   for (const std::uint32_t s : active_) (void)resolve_action(s, r);
+
+  // Standing-follow carry scan (suppression only): a suppressed follower
+  // cannot re-issue Follow in the round its leader moves; its most
+  // recent decision is a standing order that the leader's take-followers
+  // move executes. Scanned against pre-move positions — identical in
+  // skip and naive stepping. Under every non-suppressing scheduler an
+  // un-terminated follower is re-activated each round and handled by
+  // normal resolution, so this pass is unreachable there.
+  if (suppressing) collect_carried(r);
 
   // ---- apply moves and terminations simultaneously ----------------------
   std::size_t movers = 0;
@@ -434,7 +594,9 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
     const Action action = resolved_[s];
     switch (action.kind) {
       case ActionKind::Move: {
-        GATHER_EXPECTS(action.port < graph_.degree(pos_[s]));
+        // A robot handing back an out-of-range port broke its own
+        // contract — robot-side, so protocol-class (recordable).
+        GATHER_PROTOCOL(action.port < graph_.degree(pos_[s]));
         const NodeId from = pos_[s];
         const graph::HalfEdge h = graph_.traverse_unchecked(from, action.port);
         occupants_erase(from, s);
@@ -462,6 +624,29 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
         break;
       }
       case ActionKind::Stay: {
+        if (suppressing) {
+          if (decisions_[s].kind == ActionKind::Stay) {
+            // The robot's OWN Stay carries a local deadline the wake
+            // machinery re-checks on pop (conservative wake).
+            sleep_target_[s] = decided_stay_local_[s];
+          } else {
+            // Follow-adopted stay. The leader's wake is a GLOBAL round;
+            // under suppression the follower's local clock drifts
+            // against it, so sleeping until then could consult the
+            // follower PAST a local deadline its program must observe
+            // exactly (naive stepping consults it every activated round
+            // and never skips one). Defer one round instead: the
+            // follower is re-consulted at every activated round while
+            // it keeps choosing Follow — matching naive consult rounds.
+            sleep_target_[s] = kNoRound;
+            if (!config_.naive_stepping) {
+              heap_push(r + 1, s);
+            } else {
+              wake_[s] = r + 1;
+            }
+            break;
+          }
+        }
         if (!config_.naive_stepping) {
           heap_push(std::max(action.stay_until, r + 1), s);
         } else if (suppressing) {
@@ -484,6 +669,8 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
         break;
     }
   }
+
+  if (suppressing) movers += apply_carried(r, result);
 
   // A robot announcing termination claims gathering is complete; record
   // any announcement made while the full robot set (dormant and crashed
@@ -510,6 +697,10 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
         // naive equivalence suite).
         if (any_crash_ && r + 1 >= crash_at_[occ]) continue;
         if (any_delay_ && release_[occ] > r + 1) continue;
+        // An occupancy change voids the Stay promise whether or not the
+        // heap entry moves: the occupant must be consulted, not re-slept
+        // by the deadline re-check.
+        if (suppressing) sleep_target_[occ] = kNoRound;
         if (wake_[occ] > r + 1) heap_push(r + 1, occ);
       }
     }

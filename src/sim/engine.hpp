@@ -28,6 +28,24 @@
 //    skip-mode and naive-mode runs stay trace-identical under every
 //    adversary, which tests/scheduler_test.cpp pins.
 //
+//  * Activation-count robot clocks. RoundView::round is the robot's
+//    LOCAL time: the number of rounds the scheduler has activated it
+//    since its release. Stay{until} deadlines are local too. For
+//    non-suppressing schedulers local time is `global − release` and the
+//    translation is two adds; under suppression the engine keeps a
+//    per-slot clock that is advanced lazily by counting the scheduler's
+//    pure activates() predicate over skipped stretches, and sleep
+//    deadlines become *conservative* global wakes (local time advances
+//    at most one per round) that are re-checked on wake and pushed out
+//    by the remaining deficit — so event-driven skipping stays exact
+//    under suppression. A robot whose most recent decision was Follow
+//    holds a *standing order*: if the scheduler suppresses it in a round
+//    its leader moves with take_followers, the engine carries it along
+//    (the F2F "come along" message does not require the follower to be
+//    activated). Under every non-suppressing scheduler followers are
+//    re-activated each round, so the carry path is provably unreachable
+//    there and the synchronous instruction stream is unchanged.
+//
 //  * Scheduler hooks off the hot path. Adversary features are gated by
 //    booleans cached at add_robot time (any delay? any crash? does this
 //    scheduler suppress?), so a synchronous run executes the same
@@ -138,6 +156,17 @@ class Engine {
   std::vector<Round> release_;   ///< scheduler: per-slot start round
   std::vector<Round> crash_at_;  ///< scheduler: per-slot crash round
 
+  // ---- activation-count local clocks (maintained only when the
+  // ---- scheduler suppresses; see the file comment) ----------------------
+  std::vector<Round> local_;      ///< activations experienced since release
+  std::vector<Round> synced_to_;  ///< global round local_ is counted up to
+  /// Pending Stay deadline in LOCAL time (kNoRound = none). Any forced
+  /// wake (occupancy change, carry) clears it so the robot re-decides.
+  std::vector<Round> sleep_target_;
+  /// Leader named by the slot's most recent decision if that decision
+  /// was Follow (0 = none) — the standing order the carry pass executes.
+  std::vector<RobotId> standing_follow_;
+
   /// Slot indices sorted by label — the label→slot index (binary search;
   /// labels are sparse in [1, n^b], so no direct-indexed table).
   std::vector<std::uint32_t> slots_by_id_;
@@ -175,9 +204,35 @@ class Engine {
   std::vector<NodeId> touched_nodes_;
   std::vector<std::uint32_t> active_;
 
+  // ---- suppression-only scratch (sized in run(), unused otherwise) ------
+  std::vector<Round> decided_stay_local_;  ///< pre-translation Stay deadline
+  std::vector<std::uint32_t> carried_;     ///< slots carried this round
+  std::vector<Round> carry_stamp_;         ///< memo stamp for resolve_carry
+  std::vector<std::uint8_t> carry_has_;
+  std::vector<graph::HalfEdge> carry_edge_;
+
   [[nodiscard]] std::span<const RobotPublicState> view_for(NodeId node,
                                                            Round r);
   Action resolve_action(std::uint32_t slot, Round r);
+
+  /// Robot-clock modes of the decision loop (see engine.cpp).
+  static constexpr int kClockSync = 0;
+  static constexpr int kClockDelayed = 1;
+  static constexpr int kClockLocal = 2;
+  template <int Mode>
+  void decide_all(Round r, RunMetrics& m);
+
+  /// Advance slot's local clock over [synced_to_, r) by counting the
+  /// scheduler's activates() predicate (suppressing schedulers only).
+  void sync_local(std::uint32_t slot, Round r);
+  /// Whether the inactive slot is carried by a take-followers move of
+  /// its standing-follow chain this round; fills carry_edge_[slot].
+  bool resolve_carry(std::uint32_t slot, Round r);
+  /// The standing-follow carry pass (suppression only; out of line to
+  /// keep simulate_round's hot body compact): collect the carried slots
+  /// against pre-move positions / apply their moves after the active set.
+  void collect_carried(Round r);
+  std::size_t apply_carried(Round r, RunResult& result);
 
   void heap_push(Round round, std::uint32_t slot);
   [[nodiscard]] bool heap_pop_next(Round& round);

@@ -40,6 +40,15 @@ struct RobotPublicState {
 
 /// Everything a robot observes in one round before deciding its action.
 struct RoundView {
+  /// The robot's LOCAL time: the number of scheduler activations it has
+  /// experienced since its release round. Under the paper's synchronous
+  /// model this equals the global round; under arbitrary startup times
+  /// it is `global - release`; under semi-synchronous suppression it
+  /// counts only the rounds the adversary activated this robot — so a
+  /// suppressed robot still experiences a coherent timeline in which
+  /// consecutive decisions are consecutive instants (the activation-count
+  /// robot clock of the SSYNC model; DESIGN.md §3.8). Robots never see
+  /// the global round.
   Round round = 0;
   std::uint32_t degree = 0;  ///< degree of the current node
   Port entry_port = kNoPort; ///< entry port of the last traversal (kNoPort if none yet)
@@ -52,10 +61,15 @@ struct RoundView {
 /// Base class for robot algorithm implementations.
 ///
 /// Contract: `on_round` must be a pure function of (internal state, view).
-/// If it returns Stay{until}, it must — given the same co-located set —
-/// keep returning Stay until round `until`. The engine exploits that
-/// promise to skip quiet rounds; `tests/engine_test.cpp` cross-checks
-/// skip vs naive execution.
+/// If it returns Stay{until}, the deadline is in the robot's LOCAL time
+/// (see RoundView::round) and the robot promises — given the same
+/// co-located set — to keep returning Stay until its local clock reaches
+/// `until`. The engine exploits that promise to skip quiet rounds,
+/// translating local deadlines to conservative global wake rounds and
+/// re-checking on wake when a suppressing scheduler makes local time lag
+/// behind (sim/engine.hpp); `tests/engine_test.cpp` and
+/// `tests/scheduler_test.cpp` cross-check skip vs naive execution under
+/// every adversary.
 class Robot {
  public:
   explicit Robot(RobotId id) { public_state_.id = id; }

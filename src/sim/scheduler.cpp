@@ -85,9 +85,15 @@ bool SemiSynchronousScheduler::activates(Round r, std::uint32_t slot,
 }
 
 Round SemiSynchronousScheduler::extend_cap(Round cap) const {
-  // Every decision can be deferred by at most fairness_ − 1 rounds, so a
-  // schedule stretches by at most that factor.
-  return support::sat_mul(cap, fairness_);
+  // Caps are robot-local budgets (activation counts). The fairness bound
+  // guarantees at least one activation per window of fairness_ rounds,
+  // so reaching local time `cap` needs at most cap × fairness_ global
+  // rounds, plus one window of slack for the first activation of the
+  // window-aligned worst case. Anything less can falsely report
+  // non-termination for an algorithm that gathers under synchrony
+  // (pinned by tests/scheduler_test.cpp).
+  return support::sat_add(support::sat_mul(cap, fairness_),
+                          support::sat_add(fairness_, 8));
 }
 
 // ---- crash-fault ----------------------------------------------------------

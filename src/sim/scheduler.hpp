@@ -20,9 +20,12 @@
 //  * release_round(slot, id) — the robot's start round τ. Before τ the
 //    robot is dormant: it occupies its start node and is visible to
 //    co-located robots (public state Init), but is never activated. From
-//    τ on it runs its program in *local time* (it observes round r − τ;
-//    its Stay deadlines are translated back), which is exactly the
-//    arbitrary-startup model and subsumes core::DelayedRobot.
+//    τ on it runs its program in *local time*: RoundView::round counts
+//    the rounds this scheduler has activated it since τ (r − τ for
+//    non-suppressing schedulers), and its Stay deadlines are translated
+//    back by the engine. This is exactly the arbitrary-startup model
+//    (subsumes core::DelayedRobot) and, combined with activates(), the
+//    activation-count robot clock of the SSYNC model (DESIGN.md §3.8).
 //  * crash_round(slot, id) — the round from which the robot is crashed:
 //    never activated again, never terminates, frozen at its node with its
 //    last public state. Crashed robots still count for the ground-truth
@@ -35,7 +38,12 @@
 //    round r only if this predicate says so; otherwise its decision is
 //    deferred to the next activated round. Must be a pure function of its
 //    arguments and must not starve: every robot activates at least once
-//    in any window of fairness_bound() consecutive rounds.
+//    in any window of fairness_bound() consecutive rounds. Every
+//    activated round — acted on or slept through — advances the robot's
+//    local clock by one, so the engine derives each robot's local time
+//    by counting this predicate over the global rounds since release
+//    (lazily, via the conservative-wake/re-check machinery in
+//    sim/engine.cpp).
 //
 // The synchronous scheduler answers (0, never, always) — bit-identical
 // to an engine with no scheduler at all (pinned by
@@ -81,7 +89,11 @@ class Scheduler {
 
   /// Stretch an algorithm-derived hard round cap to cover the slack this
   /// adversary introduces (start delays, suppression). Identity for
-  /// adversaries that do not stretch schedules.
+  /// adversaries that do not stretch schedules. Must be conservative: a
+  /// run that terminates within `cap` of every robot's LOCAL time must
+  /// fit in extend_cap(cap) GLOBAL rounds, or a cap-limited adversarial
+  /// run could falsely report non-termination (pinned by
+  /// tests/scheduler_test.cpp).
   [[nodiscard]] virtual Round extend_cap(Round cap) const;
 
   /// Whether this instance can actually perturb a run. Degenerate

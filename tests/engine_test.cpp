@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <type_traits>
 
 #include "graph/generators.hpp"
 #include "sim/engine.hpp"
@@ -133,17 +134,26 @@ TEST(Engine, FollowChainResolves) {
   EXPECT_EQ(engine.position_of(1), 2u);
 }
 
-TEST(Engine, FollowCycleIsContractViolation) {
+// The violation taxonomy harnesses key tolerance on: robot-side protocol
+// breaches derive from ContractViolation (recordable under adversaries),
+// engine-internal invariant failures deliberately do NOT (they must
+// never be swallowed as a violation=1 row).
+static_assert(std::is_base_of_v<gather::ContractViolation,
+                                gather::ProtocolViolation>);
+static_assert(!std::is_base_of_v<gather::ContractViolation,
+                                 gather::EngineInvariantError>);
+
+TEST(Engine, FollowCycleIsEngineInvariantError) {
   const graph::Graph g = graph::make_path(3);
   auto a = [](ScriptedRobot&, const RoundView&) { return Action::follow(2); };
   auto b = [](ScriptedRobot&, const RoundView&) { return Action::follow(1); };
   Engine engine(g, config_with_cap(10));
   engine.add_robot(std::make_unique<ScriptedRobot>(1, a), 0);
   engine.add_robot(std::make_unique<ScriptedRobot>(2, b), 0);
-  EXPECT_THROW((void)engine.run(), ContractViolation);
+  EXPECT_THROW((void)engine.run(), EngineInvariantError);
 }
 
-TEST(Engine, FollowNonColocatedIsContractViolation) {
+TEST(Engine, FollowNonColocatedIsEngineInvariantError) {
   const graph::Graph g = graph::make_path(3);
   auto a = [](ScriptedRobot&, const RoundView&) { return Action::follow(2); };
   auto b = [](ScriptedRobot&, const RoundView& view) {
@@ -152,7 +162,17 @@ TEST(Engine, FollowNonColocatedIsContractViolation) {
   Engine engine(g, config_with_cap(10));
   engine.add_robot(std::make_unique<ScriptedRobot>(1, a), 0);
   engine.add_robot(std::make_unique<ScriptedRobot>(2, b), 2);
-  EXPECT_THROW((void)engine.run(), ContractViolation);
+  EXPECT_THROW((void)engine.run(), EngineInvariantError);
+}
+
+TEST(Engine, InvalidMovePortIsProtocolViolation) {
+  // A robot handing back garbage broke its own contract: robot-side,
+  // recordable class.
+  const graph::Graph g = graph::make_path(3);
+  auto bad = [](ScriptedRobot&, const RoundView&) { return Action::move(7); };
+  Engine engine(g, config_with_cap(10));
+  engine.add_robot(std::make_unique<ScriptedRobot>(1, bad), 0);
+  EXPECT_THROW((void)engine.run(), ProtocolViolation);
 }
 
 TEST(Engine, FollowerTerminatesWithLeader) {

@@ -371,31 +371,48 @@ TEST(SchedulerEquivalence, SkipAndNaiveAgreeUnderEveryAdversary) {
 // ---- semi-synchronous: fairness and determinism --------------------------
 
 TEST(SemiSynchronous, FairnessBoundsConsecutiveSuppression) {
-  // A robot that wants to act every round: gaps between the rounds it
-  // actually observes must never exceed the fairness window.
+  // The robot observes LOCAL time (one tick per activation), so
+  // suppression is invisible to it; the adversary's gaps show in the
+  // GLOBAL rounds of its actions. A robot that moves every activation
+  // leaves one trace event per activation: consecutive global gaps must
+  // never exceed the fairness window, while the local clock it observes
+  // must advance by exactly one per activation (the coherent timeline).
   const sim::Round fairness = 4;
   const graph::Graph g = graph::make_ring(6);
-  std::vector<sim::Round> seen;
-  auto greedy = [&seen](ScriptedRobot&, const sim::RoundView& view) {
-    seen.push_back(view.round);
+  std::vector<sim::Round> seen_local;
+  auto walker = [&seen_local](ScriptedRobot&, const sim::RoundView& view) {
+    seen_local.push_back(view.round);
     if (view.round >= 200) return sim::Action::terminate();
-    return sim::Action::stay_one(view.round);
+    return sim::Action::move(0);
   };
   sim::EngineConfig cfg;
-  cfg.hard_cap = 1000;
+  cfg.hard_cap = 2000;
+  cfg.record_trace = true;
   cfg.scheduler = std::make_shared<sim::SemiSynchronousScheduler>(5, fairness);
   sim::Engine engine(g, cfg);
-  engine.add_robot(std::make_unique<ScriptedRobot>(1, greedy), 0);
+  engine.add_robot(std::make_unique<ScriptedRobot>(1, walker), 0);
   const sim::RunResult result = engine.run();
   EXPECT_TRUE(result.all_terminated);
-  ASSERT_GE(seen.size(), 2u);
-  bool suppressed_at_least_once = false;
-  for (std::size_t i = 1; i < seen.size(); ++i) {
-    EXPECT_LE(seen[i] - seen[i - 1], fairness) << "gap at activation " << i;
-    suppressed_at_least_once |= seen[i] - seen[i - 1] > 1;
+  // Coherent local timeline: view.round is exactly the activation count.
+  ASSERT_GE(seen_local.size(), 2u);
+  for (std::size_t i = 0; i < seen_local.size(); ++i) {
+    EXPECT_EQ(seen_local[i], i) << "local clock skipped or repeated";
+  }
+  // Global fairness: the adversary suppressed, but never for a whole
+  // fairness window.
+  const auto& trace = engine.trace();
+  ASSERT_GE(trace.size(), 2u);
+  bool suppressed_at_least_once = trace.front().round > 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const sim::Round gap = trace[i].round - trace[i - 1].round;
+    EXPECT_LE(gap, fairness) << "gap at activation " << i;
+    suppressed_at_least_once |= gap > 1;
   }
   EXPECT_TRUE(suppressed_at_least_once)
       << "adversary never suppressed anything — not semi-synchronous";
+  // The round counter is global: the run must span more rounds than the
+  // robot experienced activations.
+  EXPECT_GT(result.metrics.rounds, 200u);
 }
 
 TEST(SemiSynchronous, FairnessOneIsSynchronous) {
@@ -407,6 +424,140 @@ TEST(SemiSynchronous, FairnessOneIsSynchronous) {
       false);
   EXPECT_EQ(sync.result.metrics.trace_hash, ssync.result.metrics.trace_hash);
   EXPECT_EQ(sync.result.metrics.rounds, ssync.result.metrics.rounds);
+}
+
+// ---- the SSYNC referee suite: activation-count local clocks ---------------
+
+/// A suppressing-class scheduler that never actually suppresses: the
+/// engine runs the full local-clock machinery (lazy activation counting,
+/// conservative wake translation) but every round is activated, so local
+/// time must coincide with global time and the whole run must be
+/// bit-identical to the synchronous scheduler.
+class AlwaysActivateScheduler final : public sim::Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "always-activate";
+  }
+  [[nodiscard]] bool activates(sim::Round, std::uint32_t,
+                               sim::RobotId) const override {
+    return true;
+  }
+  [[nodiscard]] sim::Round fairness_bound() const override { return 3; }
+  [[nodiscard]] bool adversarial() const override { return false; }
+};
+
+core::RunOutcome run_paper_algorithm(
+    const graph::Graph& g, const graph::Placement& placement,
+    std::shared_ptr<const sim::Scheduler> scheduler, sim::Round fairness,
+    bool naive = false) {
+  core::RunSpec spec;
+  spec.config = core::make_config(g, uxs::make_covering_sequence(g, 3));
+  spec.config.fairness = fairness;
+  spec.naive_engine = naive;
+  spec.scheduler = std::move(scheduler);
+  return core::run_gathering(g, placement, spec);
+}
+
+TEST(SemiSynchronous, AlwaysActivateIsTraceIdenticalToSynchronous) {
+  // The tentpole's translation referee: with activates() ≡ true the
+  // local-clock machinery (RoundView::round from activation counts, Stay
+  // deadlines translated through conservative wakes) must reproduce the
+  // synchronous run of the full paper algorithm bit for bit.
+  const graph::Graph g = graph::make_torus(3, 4);
+  const auto nodes = graph::nodes_undispersed_random(g, 4, 5);
+  const auto placement =
+      graph::make_placement(nodes, graph::labels_sequential(4));
+  const core::RunOutcome sync = run_paper_algorithm(
+      g, placement, std::make_shared<sim::SynchronousScheduler>(), 1);
+  const core::RunOutcome ssync = run_paper_algorithm(
+      g, placement, std::make_shared<AlwaysActivateScheduler>(), 1);
+  EXPECT_EQ(sync.result.metrics.trace_hash, ssync.result.metrics.trace_hash);
+  EXPECT_EQ(sync.result.metrics.rounds, ssync.result.metrics.rounds);
+  EXPECT_EQ(sync.result.metrics.total_moves, ssync.result.metrics.total_moves);
+  EXPECT_TRUE(ssync.result.detection_correct);
+}
+
+TEST(SemiSynchronous, SkipAndNaiveAgreeOnPaperAlgorithmUnderSuppression) {
+  // Event-driven skipping under real suppression: the conservative-wake/
+  // re-check machinery and the standing-follow carry pass must leave the
+  // full Faster-Gathering run trace-identical to naive stepping, which
+  // polls every activated robot every round.
+  const graph::Graph g = graph::make_torus(3, 4);
+  const auto nodes = graph::nodes_undispersed_random(g, 4, 5);
+  const auto placement =
+      graph::make_placement(nodes, graph::labels_sequential(4));
+  for (const sim::Round fairness : {2ull, 3ull, 5ull}) {
+    const auto sched =
+        std::make_shared<sim::SemiSynchronousScheduler>(17, fairness);
+    const core::RunOutcome skip =
+        run_paper_algorithm(g, placement, sched, fairness);
+    const core::RunOutcome naive =
+        run_paper_algorithm(g, placement, sched, fairness, /*naive=*/true);
+    EXPECT_EQ(skip.result.metrics.trace_hash, naive.result.metrics.trace_hash)
+        << "fairness " << fairness;
+    EXPECT_EQ(skip.result.metrics.rounds, naive.result.metrics.rounds)
+        << "fairness " << fairness;
+    EXPECT_TRUE(skip.result.gathered_at_end) << "fairness " << fairness;
+    EXPECT_TRUE(skip.result.all_terminated) << "fairness " << fairness;
+    EXPECT_FALSE(skip.result.false_announcement) << "fairness " << fairness;
+  }
+}
+
+TEST(SemiSynchronous, PaperAlgorithmsGatherAcrossAllFamilies) {
+  // The acceptance sweep: every registered graph family × every paper
+  // algorithm gathers under semi-synchronous suppression with zero
+  // protocol violations. tolerate_protocol_violations stays OFF — any
+  // ProtocolViolation aborts the sweep (and fails the test) instead of
+  // being recorded.
+  scenario::SweepSpec sweep;
+  sweep.base.n = 10;
+  sweep.base.k = 3;
+  sweep.base.placement = "undispersed";
+  sweep.base.scheduler = "semi-synchronous";
+  sweep.base.scheduler_params.set("fairness", "3");
+  sweep.base.seed = 7;
+  for (const std::string& family : scenario::graph_families().list()) {
+    if (family == "file") continue;
+    sweep.families.push_back(family);
+  }
+  EXPECT_EQ(sweep.families.size(), 16u);
+  sweep.algorithms = scenario::algorithms().list();
+  sweep.skip_infeasible = true;  // hypercube realizes n=8 etc.
+  const std::vector<scenario::SweepRow> rows =
+      scenario::SweepRunner::run(sweep);
+  ASSERT_GE(rows.size(), 3 * 15u);
+  for (const scenario::SweepRow& row : rows) {
+    const std::string name = row.spec.family + "/" + row.spec.algorithm;
+    EXPECT_FALSE(row.protocol_violation) << name;
+    EXPECT_TRUE(row.outcome.result.gathered_at_end) << name;
+    EXPECT_TRUE(row.outcome.result.all_terminated) << name;
+    EXPECT_FALSE(row.outcome.result.false_announcement) << name;
+    EXPECT_FALSE(row.outcome.result.hit_round_cap) << name;
+  }
+}
+
+TEST(SemiSynchronous, CapLimitedRunCannotFalselyReportNonTermination) {
+  // extend_cap must provably cover worst-case suppression: a derived
+  // (schedule-tight) cap, stretched only by the scheduler, must never
+  // make an algorithm that gathers under synchrony look non-terminating
+  // under SSYNC. Unit part: the bound is cap × fairness + slack.
+  sim::SemiSynchronousScheduler sched(5, 4);
+  EXPECT_GE(sched.extend_cap(1000), 4000u + 4u);
+  // End-to-end part: derived caps only (RunSpec.hard_cap = 0).
+  scenario::ScenarioSpec spec;
+  spec.family = "ring";
+  spec.n = 8;
+  spec.k = 3;
+  spec.placement = "undispersed";
+  spec.scheduler = "semi-synchronous";
+  spec.scheduler_params.set("fairness", "4");
+  for (const std::uint64_t seed : {1ull, 9ull}) {
+    spec.seed = seed;
+    const core::RunOutcome out = scenario::run_scenario(spec);
+    EXPECT_FALSE(out.result.hit_round_cap) << "seed " << seed;
+    EXPECT_TRUE(out.result.all_terminated) << "seed " << seed;
+    EXPECT_TRUE(out.result.gathered_at_end) << "seed " << seed;
+  }
 }
 
 // ---- crash-fault: freezing and detection soundness -----------------------
@@ -456,6 +607,76 @@ TEST(CrashFault, AnnouncementAwayFromCrashedRobotIsFlagged) {
   EXPECT_TRUE(result.false_announcement);
   EXPECT_FALSE(result.detection_correct);
   EXPECT_FALSE(result.all_terminated);
+}
+
+TEST(CrashFault, CrashAtReleaseRoundStaysInitAndOccupiesItsNode) {
+  // A robot whose crash round equals its release round is crashed before
+  // its first activation: it must never be activated (no moves, no local
+  // time), keep broadcasting Init from its start node, and still count
+  // for the ground-truth gathering predicate — so a survivor terminating
+  // elsewhere is a recorded false announcement.
+  const graph::Graph g = graph::make_path(4);
+  auto walker = [](ScriptedRobot&, const sim::RoundView& view) {
+    if (view.round >= 2) return sim::Action::terminate();
+    return sim::Action::move(view.round == 0 ? 0 : 1);
+  };
+  sim::EngineConfig cfg;
+  cfg.hard_cap = 100;
+  cfg.scheduler = std::make_shared<sim::CrashFaultScheduler>(
+      std::vector<sim::Round>{sim::kNoRound, 0});
+  sim::Engine engine(g, cfg);
+  auto crashed = std::make_unique<ScriptedRobot>(2, walker);
+  const ScriptedRobot* crashed_view = crashed.get();
+  engine.add_robot(std::make_unique<ScriptedRobot>(1, walker), 0);
+  engine.add_robot(std::move(crashed), 3);
+  const sim::RunResult result = engine.run();
+  EXPECT_EQ(crashed_view->public_state().tag, sim::StateTag::Init);
+  EXPECT_EQ(engine.position_of(2), 3u);
+  EXPECT_EQ(result.metrics.moves_per_robot[1], 0u);
+  EXPECT_FALSE(result.all_terminated);
+  EXPECT_TRUE(result.false_announcement);
+  EXPECT_FALSE(result.detection_correct);
+}
+
+TEST(CrashFault, CrashAtDelayedReleaseRoundNeverActivates) {
+  // Same edge with a nonzero release: crash_round == release_round > 0
+  // means the dormant robot dies the instant it would have started.
+  class ReleaseCrashScheduler final : public sim::Scheduler {
+   public:
+    [[nodiscard]] std::string_view name() const override {
+      return "release-crash";
+    }
+    [[nodiscard]] sim::Round release_round(std::uint32_t slot,
+                                           sim::RobotId) const override {
+      return slot == 1 ? 3 : 0;
+    }
+    [[nodiscard]] sim::Round crash_round(std::uint32_t slot,
+                                         sim::RobotId) const override {
+      return slot == 1 ? 3 : sim::kNoRound;
+    }
+  };
+  const graph::Graph g = graph::make_path(4);
+  auto walker = [](ScriptedRobot&, const sim::RoundView& view) {
+    if (view.round >= 6) return sim::Action::terminate();
+    return sim::Action::stay_one(view.round);
+  };
+  for (const bool naive : {false, true}) {
+    sim::EngineConfig cfg;
+    cfg.hard_cap = 100;
+    cfg.naive_stepping = naive;
+    cfg.scheduler = std::make_shared<ReleaseCrashScheduler>();
+    sim::Engine engine(g, cfg);
+    auto crashed = std::make_unique<ScriptedRobot>(2, walker);
+    const ScriptedRobot* crashed_view = crashed.get();
+    engine.add_robot(std::make_unique<ScriptedRobot>(1, walker), 0);
+    engine.add_robot(std::move(crashed), 3);
+    const sim::RunResult result = engine.run();
+    EXPECT_EQ(crashed_view->public_state().tag, sim::StateTag::Init)
+        << "naive=" << naive;
+    EXPECT_EQ(result.metrics.moves_per_robot[1], 0u) << "naive=" << naive;
+    EXPECT_FALSE(result.all_terminated) << "naive=" << naive;
+    EXPECT_TRUE(result.false_announcement) << "naive=" << naive;
+  }
 }
 
 TEST(CrashFault, EarlyCrashStopsFasterGatheringFromTerminating) {
@@ -601,14 +822,25 @@ TEST(SchedulerProperty, DetectionStaysSoundAcrossFamiliesAndAdversaries) {
               (!result.detection_correct || result.false_announcement)) {
             failures[i] = name + ": synchronous run must detect correctly";
           }
+          if (spec.scheduler == "semi-synchronous" &&
+              (!result.gathered_at_end || !result.all_terminated ||
+               result.false_announcement)) {
+            // Activation-count clocks make the algorithms SSYNC-tolerant:
+            // from an undispersed start the run must gather and
+            // terminate, never falsely announce.
+            failures[i] = name + ": semi-synchronous run must gather";
+          }
           if (spec.scheduler == "crash-fault" && result.all_terminated) {
             failures[i] = name + ": a crashed robot cannot terminate";
           }
         } catch (const ContractViolation&) {
-          // Visible failure under an adversary: acceptable for the three
-          // adversarial schedulers, a bug under the synchronous one.
-          if (spec.scheduler == "synchronous") {
-            failures[i] = name + ": contract violation without an adversary";
+          // Visible failure under an adversary: acceptable for the
+          // misaligning/fault adversaries, a bug under synchronous (no
+          // adversary) and semi-synchronous (the local clocks exist
+          // exactly so suppression cannot break the protocol).
+          if (spec.scheduler == "synchronous" ||
+              spec.scheduler == "semi-synchronous") {
+            failures[i] = name + ": contract violation under " + spec.scheduler;
           }
         }
       });
