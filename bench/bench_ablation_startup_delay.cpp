@@ -10,8 +10,9 @@
 // gathering itself — which quantifies how load-bearing the
 // simultaneous-start assumption is, and why Dessmark et al. /
 // Ta-Shma–Zwick treat startup delay as a first-class difficulty.
-// (Formerly built on the core::DelayedRobot wrapper;
-// tests/scheduler_test.cpp pins the two paths trace-identical.)
+// (Formerly built on the core::DelayedRobot wrapper, now deleted;
+// tests/scheduler_test.cpp pins the scheduler path to the wrapper's
+// captured equivalence-era traces.)
 #include "bench_common.hpp"
 
 #include "core/robots.hpp"

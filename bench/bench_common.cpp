@@ -7,6 +7,10 @@
 #include <sstream>
 #include <thread>
 
+#if defined(__linux__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "support/json.hpp"
 
 #if __has_include("gather_git_describe.h")
@@ -98,6 +102,18 @@ std::string git_describe() {
 #endif
 }
 
+// std::thread::hardware_concurrency() may legally return 0 or a stale 1
+// inside containers/cgroups; prefer the kernel's online-CPU count so the
+// machine stanza in committed baselines describes the real host.
+unsigned hardware_threads() {
+#if defined(__linux__) || defined(__APPLE__)
+  const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+  if (n > 0) return static_cast<unsigned>(n);
+#endif
+  const unsigned fallback = std::thread::hardware_concurrency();
+  return fallback == 0 ? 1 : fallback;
+}
+
 std::string compiler_id() {
 #if defined(__VERSION__) && defined(__clang__)
   return std::string("clang ") + __VERSION__;
@@ -125,8 +141,7 @@ void BenchJson::write(std::ostream& os) const {
   os << "  \"git_describe\": \"" << json_escape(git_describe()) << "\",\n";
   os << "  \"machine\": {\n";
   os << "    \"compiler\": \"" << json_escape(compiler_id()) << "\",\n";
-  os << "    \"hardware_threads\": " << std::thread::hardware_concurrency()
-     << ",\n";
+  os << "    \"hardware_threads\": " << hardware_threads() << ",\n";
 #if defined(__linux__)
   os << "    \"platform\": \"linux\"\n";
 #elif defined(__APPLE__)

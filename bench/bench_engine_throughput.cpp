@@ -9,6 +9,7 @@
 // time. The committed BENCH_engine.json tracks this binary across PRs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <sstream>
 
 #include "baselines/random_walk.hpp"
@@ -17,6 +18,7 @@
 #include "graph/generators.hpp"
 #include "graph/placement.hpp"
 #include "sim/engine.hpp"
+#include "sim/trace.hpp"
 #include "uxs/uxs.hpp"
 
 namespace gather {
@@ -50,6 +52,51 @@ void BM_EngineMovementThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(robots));
 }
 BENCHMARK(BM_EngineMovementThroughput)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EngineMovementThroughput_TraceAB(benchmark::State& state) {
+  // Interleaved A/B guard for the trace recorder's hot-path contract:
+  // arm A runs the BM_EngineMovementThroughput workload with recording
+  // DISABLED (null sink — the default), arm B with a TraceRecorder
+  // attached, alternating inside every iteration so frequency/thermal
+  // drift hits both arms equally. The `disabled_ips` counter is the
+  // apples-to-apples number against the committed
+  // BM_EngineMovementThroughput baseline (recording off must be within
+  // noise of it); `enabled_ips` prices the opt-in sink.
+  const auto robots = static_cast<std::size_t>(state.range(0));
+  const graph::Graph g = graph::make_torus(8, 8);
+  const auto run_arm = [&](sim::TraceRecorder* rec) {
+    sim::EngineConfig cfg;
+    cfg.hard_cap = 2000;
+    cfg.trace_recorder = rec;
+    sim::Engine engine(g, cfg);
+    for (std::size_t i = 0; i < robots; ++i) {
+      engine.add_robot(std::make_unique<Ping>(static_cast<sim::RobotId>(i + 1)),
+                       static_cast<graph::NodeId>(i % g.num_nodes()));
+    }
+    const auto result = engine.run();
+    benchmark::DoNotOptimize(result.metrics.total_moves);
+  };
+  double disabled_s = 0.0;
+  double enabled_s = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run_arm(nullptr);
+    const auto t1 = std::chrono::steady_clock::now();
+    sim::TraceRecorder recorder;
+    run_arm(&recorder);
+    const auto t2 = std::chrono::steady_clock::now();
+    disabled_s += std::chrono::duration<double>(t1 - t0).count();
+    enabled_s += std::chrono::duration<double>(t2 - t1).count();
+  }
+  const double items =
+      static_cast<double>(state.iterations()) * 2000.0 *
+      static_cast<double>(robots);
+  state.SetItemsProcessed(2 * static_cast<std::int64_t>(items));
+  state.counters["disabled_ips"] =
+      disabled_s > 0 ? items / disabled_s : 0.0;
+  state.counters["enabled_ips"] = enabled_s > 0 ? items / enabled_s : 0.0;
+}
+BENCHMARK(BM_EngineMovementThroughput_TraceAB)->Arg(4)->Arg(64);
 
 void BM_FollowChainResolution(benchmark::State& state) {
   // One leader walking a ring with a chain of followers behind it.

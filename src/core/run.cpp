@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/robots.hpp"
+#include "sim/trace.hpp"
 #include "support/assert.hpp"
 #include "support/math.hpp"
 
@@ -72,6 +73,7 @@ RunOutcome run_gathering(const graph::Graph& g,
   engine_config.hard_cap = cap;
   engine_config.naive_stepping = spec.naive_engine;
   engine_config.record_trace = spec.record_trace;
+  engine_config.trace_recorder = spec.trace_recorder;
   engine_config.scheduler = spec.scheduler;
   sim::Engine engine(g, engine_config);
 
@@ -104,7 +106,18 @@ RunOutcome run_gathering(const graph::Graph& g,
   }
 
   RunOutcome outcome;
-  outcome.result = engine.run();
+  try {
+    outcome.result = engine.run();
+  } catch (const ProtocolViolation& e) {
+    // Seal the trace with the violation as its terminal record — the
+    // break IS the measurement under an adversary, and the partial trace
+    // is what makes it bisectable. The exception still propagates;
+    // tolerance policy lives in the harnesses.
+    if (spec.trace_recorder != nullptr) {
+      spec.trace_recorder->record_violation(e.what());
+    }
+    throw;
+  }
   if (spec.record_trace) outcome.trace = engine.trace();
   if (sched.has_value()) outcome.schedule = *sched;
 

@@ -40,6 +40,12 @@ struct RunSpec {
   bool record_trace = false;
   /// 0 = derive from the schedule.
   sim::Round hard_cap = 0;
+  /// Opt-in binary trace sink (sim/trace.hpp), non-owning; must outlive
+  /// the call. run_gathering feeds it the whole run; if the run is
+  /// aborted by a ProtocolViolation, the violation is recorded as the
+  /// trace's terminal record before the exception is rethrown, so the
+  /// trace stays decodable/replayable either way.
+  sim::TraceRecorder* trace_recorder = nullptr;
   /// Scheduling adversary (sim/scheduler.hpp); null = synchronous. A
   /// derived hard cap is stretched by the scheduler's extend_cap() so
   /// delayed/suppressed schedules get the slack they shift into. For a

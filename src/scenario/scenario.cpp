@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/algorithms.hpp"
+#include "sim/trace.hpp"
 #include "support/rng.hpp"
 
 namespace gather::scenario {
@@ -62,8 +63,32 @@ ResolvedScenario resolve(const ScenarioSpec& spec) {
 }
 
 core::RunOutcome run_scenario(const ScenarioSpec& spec) {
-  const ResolvedScenario r = resolve(spec);
-  return core::run_gathering(r.graph, r.placement, r.run_spec);
+  return run_resolved(resolve(spec), spec.trace_path);
+}
+
+core::RunOutcome run_resolved(const ResolvedScenario& resolved,
+                              const std::string& trace_path) {
+  if (trace_path.empty()) {
+    return core::run_gathering(resolved.graph, resolved.placement,
+                               resolved.run_spec);
+  }
+  sim::TraceRecorder recorder;
+  core::RunSpec spec = resolved.run_spec;
+  spec.trace_recorder = &recorder;
+  try {
+    const core::RunOutcome out =
+        core::run_gathering(resolved.graph, resolved.placement, spec);
+    sim::write_trace_file(trace_path, recorder.bytes());
+    return out;
+  } catch (const ProtocolViolation&) {
+    // run_gathering sealed the trace with a violation terminal record;
+    // persist it (the partial trace is the evidence) and let the
+    // harness's tolerance policy decide what the exception means.
+    if (recorder.finished()) {
+      sim::write_trace_file(trace_path, recorder.bytes());
+    }
+    throw;
+  }
 }
 
 }  // namespace gather::scenario

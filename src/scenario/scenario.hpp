@@ -48,6 +48,12 @@ struct ScenarioSpec {
   int known_min_pair_distance = -1;  ///< Remark 13 hint (-1 = off)
 
   bool record_trace = false;
+
+  /// When non-empty, run_scenario() records the run as a binary trace
+  /// (sim/trace.hpp) and writes it here — including a run aborted by a
+  /// ProtocolViolation, whose trace is sealed with a violation terminal
+  /// record before the exception propagates.
+  std::string trace_path;
 };
 
 /// A resolved, runnable instance. `realized_n == graph.num_nodes()`;
@@ -69,8 +75,16 @@ struct ResolvedScenario {
 /// unsatisfiable specs.
 [[nodiscard]] ResolvedScenario resolve(const ScenarioSpec& spec);
 
-/// resolve() + core::run_gathering() in one call.
+/// resolve() + core::run_gathering() in one call (honors
+/// spec.trace_path).
 [[nodiscard]] core::RunOutcome run_scenario(const ScenarioSpec& spec);
+
+/// Run an already-resolved scenario, optionally recording it to
+/// `trace_path` ("" = no trace). Harnesses that resolve themselves (the
+/// CLI, SweepRunner) use this so single-run and sweep traces share one
+/// recording path.
+[[nodiscard]] core::RunOutcome run_resolved(const ResolvedScenario& resolved,
+                                            const std::string& trace_path);
 
 /// The per-axis sub-seed streams resolve() uses (exposed so harnesses
 /// that need one axis — e.g. a DOT export of just the graph — match it).

@@ -193,10 +193,13 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& sweep) {
         }
         row.realized_n = resolved.realized_n;
         row.min_pair_distance = resolved.min_pair_distance;
+        const std::string trace_path =
+            sweep.trace_dir.empty()
+                ? std::string()
+                : sweep.trace_dir + "/" + trace_filename(point);
         const auto start = std::chrono::steady_clock::now();
         try {
-          row.outcome = core::run_gathering(resolved.graph, resolved.placement,
-                                            resolved.run_spec);
+          row.outcome = run_resolved(resolved, trace_path);
         } catch (const ProtocolViolation&) {
           // An adversarial scheduler can push the algorithms outside
           // their protocol invariants; with the tolerance flag set that
@@ -234,6 +237,32 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& sweep) {
     rows.resize(kept);
   }
   return rows;
+}
+
+std::string SweepRunner::trace_filename(const SweepPoint& point) {
+  const ScenarioSpec& s = point.spec;
+  // Built with += for the same GCC 12 -Wrestrict reason as k_fraction.
+  std::string rule = point.k_rule;
+  for (char& c : rule) {
+    if (c == '/') c = '-';
+  }
+  std::string name = s.family;
+  name += "_n";
+  name += std::to_string(s.n);
+  name += "_k";
+  name += std::to_string(s.k);
+  name += '_';
+  name += s.placement;
+  name += '_';
+  name += s.algorithm;
+  name += '_';
+  name += s.scheduler;
+  name += '_';
+  name += rule;
+  name += "_s";
+  name += std::to_string(s.seed);
+  name += ".trace";
+  return name;
 }
 
 std::vector<std::string> SweepRunner::csv_header() {

@@ -78,6 +78,17 @@ struct SweepSpec {
   /// regressions as innocuous rows.
   bool tolerate_protocol_violations = false;
 
+  /// When non-empty, every executed row additionally records its run as
+  /// a binary trace (sim/trace.hpp) written to
+  /// `<trace_dir>/<trace_filename(point)>`. The directory must exist.
+  /// Traces are a pure function of the row's spec, so two sweeps of the
+  /// same grid produce byte-identical files regardless of thread count.
+  /// Rows aborted by a tolerated protocol violation still write their
+  /// (violation-terminated) trace. Note the file name does not encode
+  /// family/placement/scheduler params — points differing only in
+  /// params need distinct trace_dirs.
+  std::string trace_dir;
+
   /// Worker threads; 0 = support::default_thread_count().
   unsigned threads = 0;
 };
@@ -114,6 +125,10 @@ class SweepRunner {
   /// A point whose resolution fails throws ScenarioError after workers
   /// join — sweep specs are validated by running them.
   [[nodiscard]] static std::vector<SweepRow> run(const SweepSpec& spec);
+
+  /// Deterministic per-point trace file name used with
+  /// SweepSpec::trace_dir ('/' in k-rule names is sanitized to '-').
+  [[nodiscard]] static std::string trace_filename(const SweepPoint& point);
 
   [[nodiscard]] static std::vector<std::string> csv_header();
   static void write_csv(std::ostream& os, const std::vector<SweepRow>& rows);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <type_traits>
 
+#include "sim/trace.hpp"
 #include "support/assert.hpp"
 #include "support/math.hpp"
 
@@ -30,6 +31,7 @@ Engine::Engine(const graph::Graph& graph, EngineConfig config)
       occ_head_(graph.num_nodes(), kNoSlot) {
   GATHER_EXPECTS(config_.hard_cap > 0);
   sched_ = config_.scheduler.get();
+  rec_ = config_.trace_recorder;
   suppressing_ = sched_ != nullptr && sched_->fairness_bound() > 0;
 }
 
@@ -193,6 +195,7 @@ std::size_t Engine::apply_carried(Round r, RunResult& result) {
     if (config_.record_trace && trace_.size() < config_.trace_limit) {
       trace_.push_back(TraceEvent{r, ids_[s], from, h.to});
     }
+    if (rec_ != nullptr) rec_->record_carried(s, h.to);
     sleep_target_[s] = kNoRound;
     if (!config_.naive_stepping) {
       heap_push(r + 1, s);
@@ -258,6 +261,13 @@ RunResult Engine::run() {
   active_.reserve(num_slots);
   touched_nodes_.reserve(2 * num_slots);
   heap_.reserve(4 * num_slots);
+
+  // Trace preamble: pos_ still holds the start nodes here (no round has
+  // run), and the per-slot schedule was sampled in add_robot.
+  if (rec_ != nullptr) {
+    rec_->begin_run(graph_.num_nodes(), config_.naive_stepping,
+                    config_.hard_cap, ids_, pos_, release_, crash_at_);
+  }
 
   std::size_t alive = num_slots;
   Round r = 0;
@@ -375,6 +385,7 @@ RunResult Engine::run() {
       continue;
     }
 
+    if (rec_ != nullptr) rec_->begin_round(r, active_);
     const std::size_t movers = simulate_round(r, result);
 
     // ---- post-round bookkeeping -----------------------------------------
@@ -413,6 +424,7 @@ RunResult Engine::run() {
     m.total_moves += move_count_[s];
     m.moves_per_robot[s] = move_count_[s];
   }
+  if (rec_ != nullptr) rec_->finish(result, pos_);
   return result;
 }
 
@@ -577,6 +589,16 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
   // ---- resolve follow chains ---------------------------------------------
   for (const std::uint32_t s : active_) (void)resolve_action(s, r);
 
+  // Trace the round's Follow decisions (resolution above has already
+  // validated every named leader, so find_slot cannot fail here).
+  if (rec_ != nullptr) {
+    for (const std::uint32_t s : active_) {
+      if (decisions_[s].kind == ActionKind::Follow) {
+        rec_->record_follow(s, find_slot(decisions_[s].leader));
+      }
+    }
+  }
+
   // Standing-follow carry scan (suppression only): a suppressed follower
   // cannot re-issue Follow in the round its leader moves; its most
   // recent decision is a standing order that the leader's take-followers
@@ -613,6 +635,7 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
         if (config_.record_trace && trace_.size() < config_.trace_limit) {
           trace_.push_back(TraceEvent{r, ids_[s], from, h.to});
         }
+        if (rec_ != nullptr) rec_->record_move(s, h.to);
         if (!config_.naive_stepping) {
           heap_push(r + 1, s);
         } else if (suppressing) {
@@ -662,6 +685,7 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
         terminated_this_round = true;
         hash_word(m.trace_hash, ~r);
         hash_word(m.trace_hash, ids_[s]);
+        if (rec_ != nullptr) rec_->record_terminate(s);
         break;
       }
       case ActionKind::Follow:

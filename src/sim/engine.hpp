@@ -84,6 +84,8 @@
 
 namespace gather::sim {
 
+class TraceRecorder;  // sim/trace.hpp — opt-in binary trace sink
+
 struct EngineConfig {
   /// Hard upper bound on the round counter; exceeding it ends the run
   /// with hit_round_cap set (callers treat that as failure).
@@ -97,6 +99,11 @@ struct EngineConfig {
   /// Record individual move events (bounded by trace_limit).
   bool record_trace = false;
   std::size_t trace_limit = 1u << 20;
+  /// Opt-in binary trace sink (sim/trace.hpp), non-owning; must outlive
+  /// run(). Null (the default) costs the hot path one predicted-false
+  /// branch per round and per move/termination — nothing else (pinned
+  /// against BENCH_engine.json by bench/bench_engine_throughput.cpp).
+  TraceRecorder* trace_recorder = nullptr;
   /// Scheduling adversary (see sim/scheduler.hpp). Null is the paper's
   /// synchronous model, bit-identical to SynchronousScheduler.
   std::shared_ptr<const Scheduler> scheduler;
@@ -140,6 +147,7 @@ class Engine {
   // three feature flags gate every scheduler branch in the round loop, so
   // a synchronous run pays nothing for the adversary machinery.
   const Scheduler* sched_ = nullptr;  ///< non-owning view of config_.scheduler
+  TraceRecorder* rec_ = nullptr;      ///< non-owning copy of the trace sink
   bool any_delay_ = false;
   bool any_crash_ = false;
   bool suppressing_ = false;

@@ -24,8 +24,9 @@
 //    the rounds this scheduler has activated it since τ (r − τ for
 //    non-suppressing schedulers), and its Stay deadlines are translated
 //    back by the engine. This is exactly the arbitrary-startup model
-//    (subsumes core::DelayedRobot) and, combined with activates(), the
-//    activation-count robot clock of the SSYNC model (DESIGN.md §3.8).
+//    (it subsumed the deleted core::DelayedRobot wrapper) and, combined
+//    with activates(), the activation-count robot clock of the SSYNC
+//    model (DESIGN.md §3.8).
 //  * crash_round(slot, id) — the round from which the robot is crashed:
 //    never activated again, never terminates, frozen at its node with its
 //    last public state. Crashed robots still count for the ground-truth
@@ -117,8 +118,9 @@ class SynchronousScheduler final : public Scheduler {
 
 /// Arbitrary startup times (§3 future work; Dieudonné & Pelc): robot i
 /// starts at an adversary-chosen round τ_i and runs in local time.
-/// Subsumes the legacy core::DelayedRobot wrapper (equivalence pinned by
-/// tests/scheduler_test.cpp).
+/// Subsumed the legacy core::DelayedRobot wrapper, now deleted; its
+/// behaviour survives as the absolute equivalence-era trace pins in
+/// tests/scheduler_test.cpp section 2 and tests/delayed_test.cpp.
 class AdversarialDelayScheduler final : public Scheduler {
  public:
   /// Per-slot delays drawn deterministically from [0, max_delay] for the

@@ -1,14 +1,23 @@
-// DelayedRobot tests: the τ = 0 identity property, local-time
-// translation, and the expected degradation under misaligned starts
-// (the paper's simultaneous-start assumption, §3).
+// Startup-delay tests on the sim::AdversarialDelayScheduler path: the
+// τ = 0 identity property, local-time translation, and the expected
+// degradation under misaligned starts (the paper's simultaneous-start
+// assumption, §3). Formerly built on the core::DelayedRobot wrapper;
+// the wrapper is gone and the scheduler is the only delay surface, so
+// these tests also carry absolute trace pins captured while the two
+// paths were still pinned trace-identical (see tests/scheduler_test.cpp
+// section 2 for the full pin table).
 #include <gtest/gtest.h>
 
-#include "core/delayed.hpp"
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "core/robots.hpp"
 #include "core/run.hpp"
 #include "graph/generators.hpp"
 #include "graph/placement.hpp"
 #include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "support/rng.hpp"
 #include "uxs/uxs.hpp"
 
@@ -25,13 +34,13 @@ sim::RunResult run_delayed(const graph::Graph& g,
   sim::EngineConfig engine_config;
   engine_config.hard_cap =
       sched.hard_cap() + *std::max_element(delays.begin(), delays.end()) + 8;
+  engine_config.scheduler =
+      std::make_shared<sim::AdversarialDelayScheduler>(delays);
   sim::Engine engine(g, engine_config);
-  for (std::size_t i = 0; i < placement.size(); ++i) {
-    auto inner = std::make_unique<FasterGatheringRobot>(placement[i].label,
-                                                        config);
+  for (const graph::RobotStart& start : placement) {
     engine.add_robot(
-        std::make_unique<DelayedRobot>(std::move(inner), delays[i]),
-        placement[i].node);
+        std::make_unique<FasterGatheringRobot>(start.label, config),
+        start.node);
   }
   return engine.run();
 }
@@ -42,7 +51,7 @@ TEST(Delayed, ZeroDelayIsIdentity) {
   const auto placement =
       graph::make_placement(nodes, graph::labels_sequential(3));
 
-  // Reference run through the normal path.
+  // Reference run through the normal (scheduler-free) path.
   RunSpec spec;
   spec.algorithm = AlgorithmKind::FasterGathering;
   spec.config = make_config(g, uxs::make_covering_sequence(g, 3));
@@ -52,6 +61,10 @@ TEST(Delayed, ZeroDelayIsIdentity) {
   EXPECT_TRUE(delayed.detection_correct);
   EXPECT_EQ(delayed.metrics.rounds, reference.result.metrics.rounds);
   EXPECT_EQ(delayed.metrics.trace_hash, reference.result.metrics.trace_hash);
+  // Absolute pin captured from the DelayedRobot-equivalence era.
+  EXPECT_EQ(delayed.metrics.trace_hash, 0xf064f99c5b75f20bULL);
+  EXPECT_EQ(delayed.metrics.rounds, 2216u);
+  EXPECT_EQ(delayed.metrics.total_moves, 161u);
 }
 
 TEST(Delayed, UniformDelayShiftsScheduleIntact) {
@@ -65,18 +78,20 @@ TEST(Delayed, UniformDelayShiftsScheduleIntact) {
   const sim::RunResult shifted = run_delayed(g, placement, {100, 100, 100});
   EXPECT_TRUE(shifted.detection_correct);
   EXPECT_EQ(shifted.metrics.rounds, zero.metrics.rounds + 100);
+  EXPECT_EQ(shifted.metrics.trace_hash, 0x38acccbd2e646646ULL);
 }
 
-TEST(Delayed, SleepingRobotIsStationaryAndInitTagged) {
-  // Until its wake round, a delayed robot stays put with tag Init.
+TEST(Delayed, SleepingRobotIsStationaryUntilRelease) {
+  // Until its release round, a delayed robot contributes nothing; the
+  // sleeping phase itself must not trip any contract.
   const graph::Graph g = graph::make_path(4);
   graph::Placement placement;
   placement.push_back({0, 1});
   placement.push_back({3, 2});
   const sim::RunResult result = run_delayed(g, placement, {0, 50});
-  // The run completes one way or another; what we assert is that it ran
-  // (no contract violation from the sleeping phase itself).
   EXPECT_GT(result.metrics.rounds, 0u);
+  EXPECT_EQ(result.metrics.trace_hash, 0xfaf4dba424083a1ULL);
+  EXPECT_EQ(result.metrics.rounds, 1899u);
 }
 
 TEST(Delayed, MisalignedStartsDegradeDetection) {

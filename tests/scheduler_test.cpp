@@ -6,9 +6,12 @@
 //     the engine BEFORE the scheduler layer existed are hard-coded here
 //     and must keep matching (all quantities are pure integer functions
 //     of the deterministic instance, so they are platform-independent).
-//  2. `adversarial-delay` is trace-identical to the legacy
-//     core::DelayedRobot wrapper it subsumes, across the edge cases the
-//     wrapper was known to handle (all robots late, single robot, ties).
+//  2. `adversarial-delay` is pinned to the legacy core::DelayedRobot
+//     wrapper it subsumed: the wrapper is deleted, and the absolute
+//     trace hashes / metrics / final positions captured while both
+//     paths ran trace-identical are hard-coded across the edge cases
+//     the wrapper was known to handle (all robots late, single robot,
+//     ties).
 //  3. Every adversary preserves skip-vs-naive equivalence — scheduler
 //     policies are pure per-robot functions, so event-driven skipping
 //     must not change observable behaviour under any of them.
@@ -21,7 +24,6 @@
 #include <functional>
 #include <memory>
 
-#include "core/delayed.hpp"
 #include "core/robots.hpp"
 #include "core/run.hpp"
 #include "graph/generators.hpp"
@@ -108,11 +110,27 @@ TEST(SchedulerEquivalence, NullAndSynchronousSchedulerAgree) {
             sync.result.metrics.decision_calls);
 }
 
-// ---- 2. adversarial-delay == legacy DelayedRobot wrapper -----------------
+// ---- 2. adversarial-delay pinned to the legacy DelayedRobot wrapper ------
+//
+// core::DelayedRobot is deleted. While it existed, every case below was
+// asserted trace-identical between the wrapper path and the scheduler
+// path; the expected values here are those captured equivalence-era
+// numbers, now pinned absolutely so the scheduler cannot drift from the
+// wrapper semantics it replaced.
 
 struct DelayRunOutcome {
   bool threw = false;  ///< misalignment broke a protocol invariant
   sim::RunResult result;
+  std::vector<sim::NodeId> positions;
+};
+
+/// Equivalence-era pin: the run's full observable signature.
+struct DelayPin {
+  std::uint64_t trace_hash;
+  sim::Round rounds;
+  std::uint64_t total_moves;
+  bool gathered;
+  bool detection_correct;
   std::vector<sim::NodeId> positions;
 };
 
@@ -148,23 +166,7 @@ DelayRunOutcome finish(sim::Engine& engine,
   return out;
 }
 
-/// Legacy path: every robot wrapped in core::DelayedRobot, no scheduler.
-DelayRunOutcome run_legacy_delayed(const graph::Graph& g,
-                                   const graph::Placement& placement,
-                                   const std::vector<sim::Round>& delays) {
-  const core::AlgorithmConfig config = delay_config(g);
-  sim::Engine engine(g, delay_engine_config(g, delays));
-  for (std::size_t i = 0; i < placement.size(); ++i) {
-    auto inner = std::make_unique<core::FasterGatheringRobot>(
-        placement[i].label, config);
-    engine.add_robot(
-        std::make_unique<core::DelayedRobot>(std::move(inner), delays[i]),
-        placement[i].node);
-  }
-  return finish(engine, placement);
-}
-
-/// New path: plain robots, delays owned by AdversarialDelayScheduler.
+/// Plain robots, delays owned by AdversarialDelayScheduler.
 DelayRunOutcome run_scheduler_delayed(const graph::Graph& g,
                                       const graph::Placement& placement,
                                       const std::vector<sim::Round>& delays,
@@ -182,72 +184,84 @@ DelayRunOutcome run_scheduler_delayed(const graph::Graph& g,
   return finish(engine, placement);
 }
 
-void expect_delay_paths_agree(const graph::Graph& g,
-                              const graph::Placement& placement,
-                              const std::vector<sim::Round>& delays,
-                              const std::string& name) {
-  const DelayRunOutcome legacy = run_legacy_delayed(g, placement, delays);
+void expect_delay_pin(const graph::Graph& g,
+                      const graph::Placement& placement,
+                      const std::vector<sim::Round>& delays,
+                      const DelayPin& pin, const std::string& name) {
   const DelayRunOutcome fresh = run_scheduler_delayed(g, placement, delays);
-  ASSERT_EQ(legacy.threw, fresh.threw) << name;
-  if (legacy.threw) return;
-  EXPECT_EQ(legacy.result.metrics.trace_hash, fresh.result.metrics.trace_hash)
-      << name;
-  EXPECT_EQ(legacy.result.metrics.rounds, fresh.result.metrics.rounds) << name;
-  EXPECT_EQ(legacy.result.metrics.total_moves,
-            fresh.result.metrics.total_moves)
-      << name;
-  EXPECT_EQ(legacy.positions, fresh.positions) << name;
-  EXPECT_EQ(legacy.result.gathered_at_end, fresh.result.gathered_at_end)
-      << name;
-  EXPECT_EQ(legacy.result.detection_correct, fresh.result.detection_correct)
-      << name;
-  EXPECT_EQ(legacy.result.hit_round_cap, fresh.result.hit_round_cap) << name;
+  ASSERT_FALSE(fresh.threw) << name;
+  EXPECT_EQ(fresh.result.metrics.trace_hash, pin.trace_hash) << name;
+  EXPECT_EQ(fresh.result.metrics.rounds, pin.rounds) << name;
+  EXPECT_EQ(fresh.result.metrics.total_moves, pin.total_moves) << name;
+  EXPECT_EQ(fresh.positions, pin.positions) << name;
+  EXPECT_EQ(fresh.result.gathered_at_end, pin.gathered) << name;
+  EXPECT_EQ(fresh.result.detection_correct, pin.detection_correct) << name;
+  EXPECT_FALSE(fresh.result.hit_round_cap) << name;
 }
 
-TEST(AdversarialDelay, MatchesLegacyDelayedRobotOnMixedDelays) {
+TEST(AdversarialDelay, PinnedToLegacyDelayedRobotOnMixedDelays) {
   const graph::Graph g = graph::make_ring(8);
   const auto nodes = graph::nodes_undispersed_random(g, 3, 5);
   const auto placement =
       graph::make_placement(nodes, graph::labels_sequential(3));
-  expect_delay_paths_agree(g, placement, {0, 3, 7}, "mixed");
-  expect_delay_paths_agree(g, placement, {0, 0, 0}, "zero");
+  // The wrapper path threw a ProtocolViolation on this misalignment,
+  // and so must the scheduler path.
+  const DelayRunOutcome mixed =
+      run_scheduler_delayed(g, placement, {0, 3, 7});
+  EXPECT_TRUE(mixed.threw) << "mixed";
+  expect_delay_pin(g, placement, {0, 0, 0},
+                   {0xf064f99c5b75f20bULL, 2216, 161, true, true, {1, 1, 1}},
+                   "zero");
 }
 
-TEST(AdversarialDelay, MatchesLegacyWhenAllRobotsDelayedPastRoundZero) {
+TEST(AdversarialDelay, PinnedToLegacyWhenAllRobotsDelayedPastRoundZero) {
   // Nobody acts in round 0 — the engine must idle through the silent
-  // prefix exactly like the wrapper (which keeps slots nominally awake).
+  // prefix exactly like the wrapper did (it kept slots nominally awake).
   const graph::Graph g = graph::make_ring(8);
   const auto nodes = graph::nodes_undispersed_random(g, 3, 5);
   const auto placement =
       graph::make_placement(nodes, graph::labels_sequential(3));
-  expect_delay_paths_agree(g, placement, {5, 9, 13}, "all-late");
+  expect_delay_pin(
+      g, placement, {5, 9, 13},
+      {0x76e82d35c962e350ULL, 380751, 903, true, false, {1, 1, 1}},
+      "all-late");
   // Uniform late start: alignment preserved, schedule intact.
   const DelayRunOutcome zero = run_scheduler_delayed(g, placement, {0, 0, 0});
-  const DelayRunOutcome shifted =
-      run_scheduler_delayed(g, placement, {100, 100, 100});
   ASSERT_FALSE(zero.threw);
-  ASSERT_FALSE(shifted.threw);
-  EXPECT_TRUE(shifted.result.detection_correct);
-  EXPECT_EQ(shifted.result.metrics.rounds, zero.result.metrics.rounds + 100);
+  expect_delay_pin(
+      g, placement, {100, 100, 100},
+      {0x38acccbd2e646646ULL, zero.result.metrics.rounds + 100, 161, true,
+       true, {1, 1, 1}},
+      "uniform-100");
 }
 
-TEST(AdversarialDelay, MatchesLegacyOnSingleRobot) {
+TEST(AdversarialDelay, PinnedToLegacyOnSingleRobot) {
   const graph::Graph g = graph::make_path(5);
   graph::Placement placement;
   placement.push_back({2, 1});
-  expect_delay_paths_agree(g, placement, {11}, "single");
-  expect_delay_paths_agree(g, placement, {0}, "single-zero");
+  expect_delay_pin(g, placement, {11},
+                   {0xf56c62d50c95ba19ULL, 25629, 272, true, true, {2}},
+                   "single");
+  expect_delay_pin(g, placement, {0},
+                   {0x0f940c7b6b793066ULL, 25618, 272, true, true, {2}},
+                   "single-zero");
 }
 
-TEST(AdversarialDelay, MatchesLegacyOnDelayTies) {
-  // Tied wake rounds exercise simultaneous release: both paths must
-  // activate the tied robots in the same round with the same views.
+TEST(AdversarialDelay, PinnedToLegacyOnDelayTies) {
+  // Tied wake rounds exercise simultaneous release: the tied robots must
+  // activate in the same round with the same views the wrapper produced.
   const graph::Graph g = graph::make_torus(3, 3);
   const auto nodes = graph::nodes_undispersed_random(g, 4, 2);
   const auto placement = graph::make_placement(
       nodes, graph::labels_random_distinct(4, g.num_nodes(), 2, 9));
-  expect_delay_paths_agree(g, placement, {6, 6, 6, 6}, "all-tied");
-  expect_delay_paths_agree(g, placement, {0, 4, 4, 0}, "pair-tied");
+  expect_delay_pin(
+      g, placement, {6, 6, 6, 6},
+      {0x40bd9454aa23cdb5ULL, 3128, 287, true, true, {8, 8, 8, 8}},
+      "all-tied");
+  expect_delay_pin(
+      g, placement, {0, 4, 4, 0},
+      {0x5342308406146e0bULL, 6377, 556, false, false, {8, 3, 3, 8}},
+      "pair-tied");
 }
 
 TEST(AdversarialDelay, SkipAndNaiveAgreeUnderDelays) {

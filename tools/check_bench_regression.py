@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Gate throughput benchmarks against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.10]
+                              [--bench-id ID]
+
+Both files are BenchJson documents (bench/bench_common.hpp). Every
+baseline row that carries an ``items_per_second`` param must exist in
+the fresh file (matched by its ``benchmark`` param) and must not be more
+than ``threshold`` slower, fractionally: fresh < baseline * (1 -
+threshold) fails. Rows without ``items_per_second`` (latency-style
+benchmarks) and fresh rows absent from the baseline are ignored, so
+adding a benchmark never breaks the gate.
+
+Exit status: 0 = no regression, 1 = regression or missing row,
+2 = unusable input (bad JSON, schema_version != 1, bench_id mismatch).
+
+Stdlib only — this must run on a bare CI python3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+class GateError(Exception):
+    """Input unusable for comparison (exit 2)."""
+
+
+def load_bench(path):
+    """Parse a BenchJson file into its document dict."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GateError(f"{path}: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise GateError(f"{path}: not a JSON object")
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise GateError(
+            f"{path}: schema_version {version!r}, want {SCHEMA_VERSION}"
+        )
+    if not isinstance(doc.get("rows"), list):
+        raise GateError(f"{path}: missing rows array")
+    return doc
+
+
+def throughput_rows(doc, path):
+    """Map benchmark name -> items/s for rows that report throughput."""
+    out = {}
+    for row in doc["rows"]:
+        params = row.get("params", {}) if isinstance(row, dict) else {}
+        name = params.get("benchmark")
+        ips = params.get("items_per_second")
+        if name is None or ips is None:
+            continue
+        try:
+            value = float(ips)
+        except (TypeError, ValueError) as exc:
+            raise GateError(
+                f"{path}: row {name!r}: bad items_per_second {ips!r}"
+            ) from exc
+        if value <= 0:
+            raise GateError(
+                f"{path}: row {name!r}: non-positive items_per_second {value}"
+            )
+        out[name] = value
+    return out
+
+
+def compare(baseline_doc, fresh_doc, threshold, baseline_path, fresh_path):
+    """Return a list of failure strings (empty = gate passes)."""
+    baseline = throughput_rows(baseline_doc, baseline_path)
+    fresh = throughput_rows(fresh_doc, fresh_path)
+    if not baseline:
+        raise GateError(f"{baseline_path}: no throughput rows to gate on")
+    failures = []
+    for name in sorted(baseline):
+        base_ips = baseline[name]
+        if name not in fresh:
+            failures.append(f"{name}: missing from {fresh_path}")
+            continue
+        fresh_ips = fresh[name]
+        floor = base_ips * (1.0 - threshold)
+        if fresh_ips < floor:
+            loss = 1.0 - fresh_ips / base_ips
+            failures.append(
+                f"{name}: {fresh_ips:.4g} items/s vs baseline "
+                f"{base_ips:.4g} ({loss:.1%} slower, limit "
+                f"{threshold:.0%})"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fail when a throughput benchmark regresses past the "
+        "threshold."
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("fresh", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="allowed fractional items/s loss (default 0.10)",
+    )
+    parser.add_argument(
+        "--bench-id",
+        default=None,
+        help="require both files to carry this bench_id",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error("--threshold must be in [0, 1)")
+
+    try:
+        baseline_doc = load_bench(args.baseline)
+        fresh_doc = load_bench(args.fresh)
+        for path, doc in ((args.baseline, baseline_doc),
+                          (args.fresh, fresh_doc)):
+            if args.bench_id is not None and doc.get("bench_id") != args.bench_id:
+                raise GateError(
+                    f"{path}: bench_id {doc.get('bench_id')!r}, "
+                    f"want {args.bench_id!r}"
+                )
+        if baseline_doc.get("bench_id") != fresh_doc.get("bench_id"):
+            raise GateError(
+                f"bench_id mismatch: {baseline_doc.get('bench_id')!r} vs "
+                f"{fresh_doc.get('bench_id')!r}"
+            )
+        failures = compare(
+            baseline_doc, fresh_doc, args.threshold, args.baseline, args.fresh
+        )
+    except GateError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if failures:
+        for line in failures:
+            print(f"REGRESSION {line}")
+        return 1
+    compared = len(throughput_rows(baseline_doc, args.baseline))
+    print(
+        f"ok: {compared} benchmark(s) within {args.threshold:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""Unit tests for check_bench_regression.py (stdlib only)."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench_regression as gate
+
+
+def bench_doc(rows, bench_id="engine_throughput", schema_version=1):
+    return {
+        "bench_id": bench_id,
+        "schema_version": schema_version,
+        "git_describe": "test",
+        "machine": {"compiler": "test", "hardware_threads": 4,
+                    "platform": "linux"},
+        "rows": rows,
+    }
+
+
+def throughput_row(name, ips, rounds=100, wall_ms=1.0):
+    return {
+        "params": {"benchmark": name, "items_per_second": str(ips)},
+        "rounds": rounds,
+        "wall_ms": wall_ms,
+    }
+
+
+class GateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        return path
+
+    def run_gate(self, baseline_doc, fresh_doc, extra_args=()):
+        baseline = self.write("baseline.json", baseline_doc)
+        fresh = self.write("fresh.json", fresh_doc)
+        return gate.main([baseline, fresh, *extra_args])
+
+    # ---- pass/fail around the threshold ---------------------------------
+
+    def test_identical_passes(self):
+        doc = bench_doc([throughput_row("BM_A/4", 1.0e7)])
+        self.assertEqual(self.run_gate(doc, doc), 0)
+
+    def test_loss_below_threshold_passes(self):
+        baseline = bench_doc([throughput_row("BM_A/4", 1.0e7)])
+        fresh = bench_doc([throughput_row("BM_A/4", 0.91e7)])  # 9% slower
+        self.assertEqual(self.run_gate(baseline, fresh), 0)
+
+    def test_loss_past_threshold_fails(self):
+        baseline = bench_doc([throughput_row("BM_A/4", 1.0e7)])
+        fresh = bench_doc([throughput_row("BM_A/4", 0.89e7)])  # 11% slower
+        self.assertEqual(self.run_gate(baseline, fresh), 1)
+
+    def test_loss_at_exact_threshold_passes(self):
+        # fresh == baseline * (1 - threshold) is the floor, not a failure.
+        baseline = bench_doc([throughput_row("BM_A/4", 1.0e7)])
+        fresh = bench_doc([throughput_row("BM_A/4", 0.9e7)])
+        self.assertEqual(self.run_gate(baseline, fresh), 0)
+
+    def test_custom_threshold(self):
+        baseline = bench_doc([throughput_row("BM_A/4", 1.0e7)])
+        fresh = bench_doc([throughput_row("BM_A/4", 0.7e7)])  # 30% slower
+        self.assertEqual(
+            self.run_gate(baseline, fresh, ["--threshold", "0.5"]), 0
+        )
+        self.assertEqual(
+            self.run_gate(baseline, fresh, ["--threshold", "0.2"]), 1
+        )
+
+    def test_speedup_passes(self):
+        baseline = bench_doc([throughput_row("BM_A/4", 1.0e7)])
+        fresh = bench_doc([throughput_row("BM_A/4", 2.0e7)])
+        self.assertEqual(self.run_gate(baseline, fresh), 0)
+
+    def test_one_of_many_regressing_fails(self):
+        baseline = bench_doc(
+            [throughput_row("BM_A/4", 1.0e7), throughput_row("BM_B/4", 1.0e7)]
+        )
+        fresh = bench_doc(
+            [throughput_row("BM_A/4", 1.0e7), throughput_row("BM_B/4", 0.5e7)]
+        )
+        self.assertEqual(self.run_gate(baseline, fresh), 1)
+
+    # ---- row matching ----------------------------------------------------
+
+    def test_baseline_row_missing_from_fresh_fails(self):
+        baseline = bench_doc(
+            [throughput_row("BM_A/4", 1.0e7), throughput_row("BM_B/4", 1.0e7)]
+        )
+        fresh = bench_doc([throughput_row("BM_A/4", 1.0e7)])
+        self.assertEqual(self.run_gate(baseline, fresh), 1)
+
+    def test_extra_fresh_row_ignored(self):
+        baseline = bench_doc([throughput_row("BM_A/4", 1.0e7)])
+        fresh = bench_doc(
+            [throughput_row("BM_A/4", 1.0e7), throughput_row("BM_New/4", 1.0)]
+        )
+        self.assertEqual(self.run_gate(baseline, fresh), 0)
+
+    def test_latency_rows_without_ips_ignored(self):
+        latency = {"params": {"benchmark": "BM_Lat/1"}, "rounds": 5,
+                   "wall_ms": 2.0}
+        baseline = bench_doc([throughput_row("BM_A/4", 1.0e7), latency])
+        fresh = bench_doc([throughput_row("BM_A/4", 1.0e7)])
+        self.assertEqual(self.run_gate(baseline, fresh), 0)
+
+    def test_baseline_with_no_throughput_rows_is_unusable(self):
+        latency = {"params": {"benchmark": "BM_Lat/1"}, "rounds": 5,
+                   "wall_ms": 2.0}
+        baseline = bench_doc([latency])
+        fresh = bench_doc([throughput_row("BM_A/4", 1.0e7)])
+        self.assertEqual(self.run_gate(baseline, fresh), 2)
+
+    # ---- schema / identity validation -----------------------------------
+
+    def test_schema_version_mismatch_is_unusable(self):
+        good = bench_doc([throughput_row("BM_A/4", 1.0e7)])
+        bad = bench_doc([throughput_row("BM_A/4", 1.0e7)], schema_version=2)
+        self.assertEqual(self.run_gate(bad, good), 2)
+        self.assertEqual(self.run_gate(good, bad), 2)
+
+    def test_missing_schema_version_is_unusable(self):
+        good = bench_doc([throughput_row("BM_A/4", 1.0e7)])
+        bad = bench_doc([throughput_row("BM_A/4", 1.0e7)])
+        del bad["schema_version"]
+        self.assertEqual(self.run_gate(good, bad), 2)
+
+    def test_bench_id_mismatch_is_unusable(self):
+        a = bench_doc([throughput_row("BM_A/4", 1.0e7)], bench_id="engine")
+        b = bench_doc([throughput_row("BM_A/4", 1.0e7)], bench_id="graph")
+        self.assertEqual(self.run_gate(a, b), 2)
+
+    def test_explicit_bench_id_enforced(self):
+        doc = bench_doc([throughput_row("BM_A/4", 1.0e7)], bench_id="engine")
+        self.assertEqual(
+            self.run_gate(doc, doc, ["--bench-id", "engine"]), 0
+        )
+        self.assertEqual(
+            self.run_gate(doc, doc, ["--bench-id", "graph"]), 2
+        )
+
+    def test_bad_json_is_unusable(self):
+        path = os.path.join(self.tmp.name, "broken.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        good = self.write("good.json", bench_doc([throughput_row("BM", 1.0)]))
+        self.assertEqual(gate.main([path, good]), 2)
+        self.assertEqual(gate.main([good, path]), 2)
+
+    def test_missing_file_is_unusable(self):
+        good = self.write("good.json", bench_doc([throughput_row("BM", 1.0)]))
+        missing = os.path.join(self.tmp.name, "nope.json")
+        self.assertEqual(gate.main([good, missing]), 2)
+
+    def test_bad_items_per_second_is_unusable(self):
+        good = bench_doc([throughput_row("BM_A/4", 1.0e7)])
+        bad = bench_doc([throughput_row("BM_A/4", "fast")])
+        self.assertEqual(self.run_gate(good, bad), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,38 @@
+// trace_diff — compare two binary run traces.
+//
+// Usage: trace_diff A.trace B.trace
+//
+// Exit status: 0 = traces describe the identical run, 1 = traces
+// diverge (the first divergence is printed as round/robot/action),
+// 2 = a trace could not be read or decoded.
+
+#include <exception>
+#include <iostream>
+#include <optional>
+
+#include "sim/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gather;
+  if (argc != 3) {
+    std::cerr << "usage: trace_diff A.trace B.trace\n";
+    return 2;
+  }
+  try {
+    const sim::Trace a = sim::decode_trace(sim::read_trace_file(argv[1]));
+    const sim::Trace b = sim::decode_trace(sim::read_trace_file(argv[2]));
+    const std::optional<sim::TraceDivergence> div =
+        sim::first_divergence(a, b);
+    if (!div.has_value()) {
+      std::cout << "traces are identical runs\n";
+      return 0;
+    }
+    std::cout << "first divergence at round " << div->round;
+    if (div->robot != 0) std::cout << ", robot " << div->robot;
+    std::cout << ": " << div->what << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
