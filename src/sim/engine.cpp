@@ -93,6 +93,10 @@ std::uint32_t Engine::slot_of(RobotId id) const {
   return slot;
 }
 
+// The wake machinery and carry pass run inside every simulated round;
+// gather_lint keeps them allocation-free (reserve-backed emplace on the
+// pre-sized members is the one sanctioned growth path).
+// gather-lint: hot-path-begin(wake-machinery)
 void Engine::heap_push(Round round, std::uint32_t slot) {
   wake_[slot] = round;
   heap_.emplace_back(round, slot);
@@ -222,6 +226,7 @@ void Engine::occupants_erase(NodeId node, std::uint32_t slot) {
   *link = occ_next_[slot];
   occ_next_[slot] = kNoSlot;
 }
+// gather-lint: hot-path-end(wake-machinery)
 
 bool Engine::all_colocated() const {
   if (pos_.empty()) return true;
@@ -292,6 +297,7 @@ RunResult Engine::run() {
     return count;
   };
 
+  // gather-lint: hot-path-begin(round-loop)
   while (alive > 0) {
     if (config_.naive_stepping) {
       r = first_round ? 0 : r + 1;
@@ -409,6 +415,7 @@ RunResult Engine::run() {
     if (config_.stop_when_gathered && m.first_gathered != kNoRound) break;
     (void)movers;
   }
+  // gather-lint: hot-path-end(round-loop)
 
   result.all_terminated = true;
   for (std::uint32_t s = 0; s < num_slots; ++s) {
@@ -428,6 +435,9 @@ RunResult Engine::run() {
   return result;
 }
 
+// View materialization, follow-chain resolution, the decision loops, and
+// the move/termination application are the per-round critical path.
+// gather-lint: hot-path-begin(round-simulation)
 std::span<const RobotPublicState> Engine::view_for(NodeId node, Round r) {
   if (node_view_stamp_[node] == r) {
     const ViewRef ref = views_[node_view_[node]];
@@ -732,5 +742,6 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
 
   return movers;
 }
+// gather-lint: hot-path-end(round-simulation)
 
 }  // namespace gather::sim

@@ -6,6 +6,8 @@
 namespace gather::support {
 
 unsigned default_thread_count() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup before
+  // any pool exists; nothing in this process writes the environment.
   if (const char* env = std::getenv("GATHER_THREADS")) {
     const long v = std::strtol(env, nullptr, 10);
     if (v >= 0) return static_cast<unsigned>(v);
@@ -24,6 +26,13 @@ void parallel_for_index(std::size_t count, unsigned threads,
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(threads, count));
   std::atomic<std::size_t> next{0};
+  // Error propagation: the first captured exception wins (capture order,
+  // serialized by the mutex); `stop` then keeps other workers from
+  // claiming further indices, so the pool drains and joins promptly
+  // instead of finishing the whole sweep after a failure. The flag is
+  // advisory — an index already claimed still runs to completion — so a
+  // clean run is bit-identical to serial execution.
+  std::atomic<bool> stop{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::vector<std::thread> pool;
@@ -31,6 +40,7 @@ void parallel_for_index(std::size_t count, unsigned threads,
   for (unsigned w = 0; w < workers; ++w) {
     pool.emplace_back([&] {
       for (;;) {
+        if (stop.load(std::memory_order_relaxed)) return;
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
         try {
@@ -38,6 +48,7 @@ void parallel_for_index(std::size_t count, unsigned threads,
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
+          stop.store(true, std::memory_order_relaxed);
         }
       }
     });

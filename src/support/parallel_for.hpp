@@ -22,7 +22,9 @@ namespace gather::support {
 
 /// Run fn(i) for i in [0, count) across `threads` workers. fn must be safe
 /// to call concurrently for distinct i. Exceptions are captured and the
-/// first one is rethrown after all workers join.
+/// first one is rethrown after all workers join; once an error is
+/// captured, unclaimed indices are abandoned so the pool drains promptly
+/// (indices already claimed still run to completion).
 void parallel_for_index(std::size_t count, unsigned threads,
                         const std::function<void(std::size_t)>& fn);
 

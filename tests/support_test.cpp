@@ -246,5 +246,79 @@ TEST(ParallelFor, MapCollectsInOrder) {
   for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
 }
 
+TEST(ParallelFor, ZeroCountIsANoOp) {
+  std::atomic<int> calls{0};
+  parallel_for_index(0, 8, [&](std::size_t) { calls++; });
+  parallel_for_index(0, 1, [&](std::size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, MoreThreadsThanIndices) {
+  // The pool must clamp to `count` workers and still visit each index
+  // exactly once — no worker may spin on an out-of-range index.
+  std::vector<std::atomic<int>> counts(3);
+  parallel_for_index(3, 16, [&](std::size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelFor, SoleErrorPropagatesExactly) {
+  // One throwing index: that exact exception must surface, and every
+  // other index must still be free to run (the stop flag only abandons
+  // indices claimed after the capture).
+  std::atomic<int> calls{0};
+  try {
+    parallel_for_index(100, 4, [&](std::size_t i) {
+      if (i == 37) throw SimError("index 37 failed");
+      calls++;
+    });
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_STREQ(e.what(), "index 37 failed");
+  }
+  EXPECT_LE(calls.load(), 99);
+}
+
+TEST(ParallelFor, FirstErrorWinsPoolJoinsCleanly) {
+  // Many concurrent throwers: exactly one exception is chosen, it is one
+  // of the thrown ones, and all workers join (the call returns rather
+  // than deadlocking or terminating). Looped as a stress test — under
+  // TSan this pins the error-capture path (mutex + stop flag) race-free.
+  for (int iter = 0; iter < 50; ++iter) {
+    std::atomic<int> started{0};
+    try {
+      parallel_for_index(64, 4, [&](std::size_t i) {
+        started++;
+        if (i % 3 == 0) throw SimError("thrower " + std::to_string(i));
+      });
+      FAIL() << "expected SimError";
+    } catch (const SimError& e) {
+      EXPECT_NE(std::string(e.what()).find("thrower"), std::string::npos);
+    }
+    EXPECT_GE(started.load(), 1);
+    EXPECT_LE(started.load(), 64);
+  }
+}
+
+TEST(ParallelFor, MapExceptionPropagates) {
+  EXPECT_THROW(parallel_map_index<int>(10, 4,
+                                       [](std::size_t i) {
+                                         if (i == 5) throw SimError("map");
+                                         return static_cast<int>(i);
+                                       }),
+               SimError);
+}
+
+TEST(ParallelFor, MapMatchesSerialForEveryThreadCount) {
+  // Result-order determinism: the executor contract is "identical to
+  // serial execution" regardless of worker count or claim interleaving.
+  const auto serial = parallel_map_index<std::uint64_t>(
+      97, 1, [](std::size_t i) { return i * 2654435761u; });
+  for (unsigned threads : {2u, 3u, 8u, 97u}) {
+    const auto parallel = parallel_map_index<std::uint64_t>(
+        97, threads, [](std::size_t i) { return i * 2654435761u; });
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace gather::support

@@ -1,0 +1,452 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant linter for src/ (gather_lint).
+
+Usage:
+    gather_lint.py [--src DIR] [--arch docs/ARCHITECTURE.md] [--list-rules]
+
+Four checker classes, each guarding an invariant the test suite can only
+probe dynamically:
+
+``layering``
+    Every ``#include "layer/..."`` edge in src/ must be permitted by the
+    layer-dependency DAG embedded in docs/ARCHITECTURE.md between the
+    ``gather-lint: layer-dag-begin`` / ``layer-dag-end`` markers. The
+    block is the single source of truth: the rendered diagram and this
+    linter both read it, so the doc cannot drift from what is enforced.
+
+``determinism``
+    src/ output is contractually byte-deterministic (sweep CSV, trace
+    files, trace hashes), so sources of nondeterminism are banned:
+    ``std::rand``/``srand``, ``std::random_device``,
+    ``std::random_shuffle``, wall-clock reads (``system_clock``,
+    ``steady_clock``, ``high_resolution_clock``, ``std::time``,
+    ``gettimeofday``, ``__DATE__``/``__TIME__``) outside
+    scenario/sweep.cpp's row-timing, unordered-container declarations
+    (iteration order is address-seeded and would feed output or hashes),
+    and pointer-keyed ordered containers (address order varies run to
+    run).
+
+``taxonomy``
+    Every ``throw`` must construct a typed error class (a name ending in
+    ``Error`` or ``Violation`` — the support/assert.hpp taxonomy plus the
+    layer-local classes derived from it), be a bare rethrow, or call a
+    same-file factory lambda that returns such a class. Bare ``assert()``
+    and ``<cassert>`` are banned: contract checks go through the
+    GATHER_* macros so they are never compiled out and harnesses can key
+    tolerance on the exception type.
+
+``hot-path``
+    Regions bracketed by ``// gather-lint: hot-path-begin(NAME)`` /
+    ``hot-path-end(NAME)`` (the engine's round loop) must not introduce
+    allocating constructs: ``new``, ``make_unique``/``make_shared``,
+    ``std::to_string``, ``std::string``/stream/``std::function``
+    construction, or local vector declarations. Reserve-backed
+    ``push_back``/``emplace_back`` on pre-sized members is allowed — the
+    invariant is "no allocation once the round loop is running", which
+    pre-reserved capacity preserves. Lines that throw are cold paths and
+    exempt.
+
+Suppression: append ``// gather-lint: allow(RULE) REASON`` to the
+offending line. A pragma without a reason is itself a finding.
+
+Exit status: 0 = clean, 1 = findings, 2 = unusable input (missing or
+cyclic layer DAG, unbalanced hot-path markers, bad paths).
+
+Stdlib only — this must run on a bare CI python3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+DAG_BEGIN = "gather-lint: layer-dag-begin"
+DAG_END = "gather-lint: layer-dag-end"
+HOT_BEGIN_RE = re.compile(r"gather-lint:\s*hot-path-begin\((?P<name>[\w-]+)\)")
+HOT_END_RE = re.compile(r"gather-lint:\s*hot-path-end\((?P<name>[\w-]+)\)")
+ALLOW_RE = re.compile(r"gather-lint:\s*allow\((?P<rule>[\w-]+)\)\s*(?P<reason>.*)")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"(?P<head>[\w.-]+)/')
+
+# Wall-clock reads are banned everywhere except the per-row wall_seconds
+# timing in scenario/sweep.cpp (a reported measurement, never an input to
+# simulation, ordering, or hashing).
+WALL_CLOCK_EXEMPT_FILES = {"scenario/sweep.cpp"}
+
+DETERMINISM_RULES = [
+    (re.compile(r"std::rand\b|\bsrand\s*\(|std::random_device"
+                r"|std::random_shuffle"),
+     "banned nondeterministic source (std::rand/srand/random_device/"
+     "random_shuffle); use support/rng.hpp"),
+    (re.compile(r"\bsystem_clock\b|\bsteady_clock\b"
+                r"|\bhigh_resolution_clock\b|\bstd::time\s*\("
+                r"|\bgettimeofday\b|__DATE__|__TIME__"),
+     "wall-clock read in deterministic code (only scenario/sweep.cpp's "
+     "row timing may read the clock)"),
+    (re.compile(r"std::unordered_(?:map|set|multimap|multiset)\b"),
+     "unordered container: iteration order is address-seeded and feeds "
+     "output/hashes; use std::map/std::set or a sorted vector"),
+    (re.compile(r"std::(?:map|set)\s*<[^,>]*\*"),
+     "pointer-keyed ordered container: address order varies run to run; "
+     "key on a stable id instead"),
+]
+
+TAXONOMY_THROW_RE = re.compile(r"\bthrow\b\s*(?P<expr>[^;]*)")
+TYPED_ERROR_RE = re.compile(r"(?:[\w:]+::)?(?P<cls>\w+)\s*[({]")
+BARE_ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
+CASSERT_RE = re.compile(r"#\s*include\s*<cassert>|#\s*include\s*<assert\.h>")
+# `const auto NAME = [...](...) { return SomeError(` — a same-file error
+# factory; `throw NAME(...)` is then taxonomy-clean.
+ERROR_FACTORY_RE = re.compile(
+    r"auto\s+(?P<name>\w+)\s*=\s*\[[^\]]*\]\s*\([^)]*\)\s*"
+    r"(?:->\s*[\w:]+\s*)?\{\s*return\s+(?:[\w:]+::)?(?P<cls>\w+)\s*\(")
+
+HOT_PATH_ALLOC_RE = re.compile(
+    r"\bnew\b|\bmake_unique\b|\bmake_shared\b|std::to_string\b"
+    r"|std::string\s*[({]|std::ostringstream\b|std::stringstream\b"
+    r"|std::function\s*<|std::vector\s*<")
+
+RULES = {
+    "layering": "include edges must follow the ARCHITECTURE.md layer DAG",
+    "determinism": "no nondeterminism sources in src/",
+    "taxonomy": "throws must be typed error classes; no bare assert()",
+    "hot-path": "no allocating constructs in marked round-loop regions",
+    "pragma": "allow() pragmas must carry a reason",
+}
+
+
+class LintError(Exception):
+    """Input unusable for linting (exit 2)."""
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def load_layer_dag(arch_path):
+    """Parse the machine-readable layer DAG block out of ARCHITECTURE.md.
+
+    Returns {layer: set(allowed-dependency-layers)}. Every layer may
+    always include itself. Raises LintError when the block is missing,
+    names an undeclared layer, or contains a cycle.
+    """
+    try:
+        with open(arch_path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise LintError(f"{arch_path}: {exc}") from exc
+    begin = text.find(DAG_BEGIN)
+    end = text.find(DAG_END)
+    if begin < 0 or end < 0 or end < begin:
+        raise LintError(
+            f"{arch_path}: no '{DAG_BEGIN}'/'{DAG_END}' block — the layer "
+            "DAG is the linter's single source of truth")
+    begin = text.find("\n", begin)  # skip the rest of the begin-marker line
+    end = text.rfind("\n", 0, end)  # drop the end-marker line itself
+    dag = {}
+    for raw in text[begin:end].splitlines():
+        line = raw.strip()
+        if not line or line.startswith(("<!--", "```", "#")):
+            continue
+        if ":" not in line:
+            raise LintError(
+                f"{arch_path}: bad DAG line {line!r} (want 'layer: deps...')")
+        layer, _, deps = line.partition(":")
+        layer = layer.strip()
+        if layer in dag:
+            raise LintError(f"{arch_path}: duplicate DAG layer {layer!r}")
+        dag[layer] = set(deps.split())
+    if not dag:
+        raise LintError(f"{arch_path}: empty layer DAG block")
+    for layer, deps in dag.items():
+        for dep in deps:
+            if dep not in dag:
+                raise LintError(
+                    f"{arch_path}: layer {layer!r} depends on undeclared "
+                    f"layer {dep!r}")
+    # Cycle check: repeatedly peel layers whose deps are all peeled.
+    remaining = {layer: set(deps) - {layer} for layer, deps in dag.items()}
+    while remaining:
+        leaves = [l for l, deps in remaining.items() if not deps]
+        if not leaves:
+            raise LintError(
+                f"{arch_path}: layer DAG has a cycle among "
+                f"{sorted(remaining)}")
+        for leaf in leaves:
+            del remaining[leaf]
+        for deps in remaining.values():
+            deps.difference_update(leaves)
+    return dag
+
+
+def scrub_lines(text):
+    """Strip comments and string/char literal contents, keep line count.
+
+    Comments are removed entirely (pragmas are read from the raw lines);
+    literals keep their quotes but lose their contents, so regexes never
+    match message text.
+    """
+    out = []
+    in_block = False
+    for raw in text.splitlines():
+        scrubbed = []
+        i = 0
+        n = len(raw)
+        while i < n:
+            if in_block:
+                close = raw.find("*/", i)
+                if close < 0:
+                    i = n
+                else:
+                    in_block = False
+                    i = close + 2
+                continue
+            ch = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if ch == "/" and nxt == "/":
+                break
+            if ch == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if ch in "\"'":
+                quote = ch
+                scrubbed.append(quote)
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        scrubbed.append(quote)
+                        i += 1
+                        break
+                    i += 1
+                continue
+            scrubbed.append(ch)
+            i += 1
+        out.append("".join(scrubbed))
+    return out
+
+
+def parse_allows(raw_lines, rel, findings):
+    """Per-line {lineno: set(rules)} from allow() pragmas; reasons required."""
+    allows = {}
+    for lineno, raw in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(raw)
+        if not m:
+            continue
+        rule = m.group("rule")
+        if rule not in RULES:
+            findings.append(Finding(
+                rel, lineno, "pragma",
+                f"allow() names unknown rule {rule!r} "
+                f"(known: {', '.join(sorted(RULES))})"))
+            continue
+        if not m.group("reason").strip():
+            findings.append(Finding(
+                rel, lineno, "pragma",
+                f"allow({rule}) without a reason — justify the suppression"))
+            continue
+        allows.setdefault(lineno, set()).add(rule)
+    return allows
+
+
+def check_layering(rel, layer, raw_lines, dag, allows, findings):
+    # Raw lines: the scrubber empties string literals, and the include
+    # path IS a string literal. INCLUDE_RE is anchored to line-start '#'
+    # so commented-out includes cannot match.
+    allowed = dag[layer] | {layer}
+    for lineno, line in enumerate(raw_lines, start=1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        head = m.group("head")
+        if head not in dag:
+            # Quoted includes are repo-internal by convention; an unknown
+            # first component is a layer missing from the DAG block.
+            findings.append(Finding(
+                rel, lineno, "layering",
+                f"include of {head!r} which is not a layer in the "
+                "ARCHITECTURE.md DAG block"))
+            continue
+        if head not in allowed and "layering" not in allows.get(lineno, ()):
+            findings.append(Finding(
+                rel, lineno, "layering",
+                f"layer '{layer}' must not include '{head}' "
+                f"(allowed: {', '.join(sorted(allowed))})"))
+
+
+def check_determinism(rel, lines, allows, findings):
+    wall_clock_exempt = rel in WALL_CLOCK_EXEMPT_FILES
+    for lineno, line in enumerate(lines, start=1):
+        for index, (pattern, message) in enumerate(DETERMINISM_RULES):
+            if index == 1 and wall_clock_exempt:
+                continue
+            if pattern.search(line) and \
+                    "determinism" not in allows.get(lineno, ()):
+                findings.append(Finding(rel, lineno, "determinism", message))
+
+
+def check_taxonomy(rel, lines, allows, findings):
+    factories = set()
+    text = "\n".join(lines)
+    for m in ERROR_FACTORY_RE.finditer(text):
+        if m.group("cls").endswith(("Error", "Violation")):
+            factories.add(m.group("name"))
+    for lineno, line in enumerate(lines, start=1):
+        if "taxonomy" in allows.get(lineno, ()):
+            continue
+        if CASSERT_RE.search(line):
+            findings.append(Finding(
+                rel, lineno, "taxonomy",
+                "<cassert> include — use the GATHER_* macros from "
+                "support/assert.hpp (never compiled out, typed)"))
+        if BARE_ASSERT_RE.search(line) and "static_assert" not in line:
+            findings.append(Finding(
+                rel, lineno, "taxonomy",
+                "bare assert() — use GATHER_EXPECTS/ENSURES/INVARIANT or "
+                "GATHER_PROTOCOL so the check is typed and always on"))
+        for m in TAXONOMY_THROW_RE.finditer(line):
+            expr = m.group("expr").strip()
+            if not expr:
+                continue  # bare rethrow
+            typed = TYPED_ERROR_RE.match(expr)
+            if typed is not None:
+                cls = typed.group("cls")
+                if cls.endswith(("Error", "Violation")) or cls in factories:
+                    continue
+            findings.append(Finding(
+                rel, lineno, "taxonomy",
+                f"throw of untyped expression {expr!r} — throw a class "
+                "ending in Error/Violation (see support/assert.hpp) or a "
+                "same-file error factory"))
+
+
+def check_hot_path(rel, raw_lines, lines, allows, findings):
+    region = None
+    throw_cold = False  # inside a multi-line throw statement (cold path)
+    for lineno, (raw, line) in enumerate(zip(raw_lines, lines), start=1):
+        begin = HOT_BEGIN_RE.search(raw)
+        end = HOT_END_RE.search(raw)
+        if begin:
+            if region is not None:
+                raise LintError(
+                    f"{rel}:{lineno}: hot-path-begin({begin.group('name')}) "
+                    f"inside open region '{region}'")
+            region = begin.group("name")
+            continue
+        if end:
+            if region != end.group("name"):
+                raise LintError(
+                    f"{rel}:{lineno}: hot-path-end({end.group('name')}) "
+                    f"does not close open region {region!r}")
+            region = None
+            continue
+        if region is None:
+            continue
+        if throw_cold:
+            if line.rstrip().endswith(";"):
+                throw_cold = False
+            continue
+        if re.search(r"\bthrow\b", line):
+            if not line.rstrip().endswith(";"):
+                throw_cold = True
+            continue
+        m = HOT_PATH_ALLOC_RE.search(line)
+        if m and "hot-path" not in allows.get(lineno, ()):
+            findings.append(Finding(
+                rel, lineno, "hot-path",
+                f"allocating construct {m.group(0)!r} in hot-path region "
+                f"'{region}' — the round loop must stay allocation-free"))
+    if region is not None:
+        raise LintError(f"{rel}: hot-path region '{region}' never closed")
+
+
+def lint_file(path, rel, dag, findings):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise LintError(f"{path}: {exc}") from exc
+    raw_lines = text.splitlines()
+    lines = scrub_lines(text)
+    allows = parse_allows(raw_lines, rel, findings)
+    layer = rel.split("/", 1)[0]
+    if layer not in dag:
+        findings.append(Finding(
+            rel, 1, "layering",
+            f"directory '{layer}' is not a layer in the ARCHITECTURE.md "
+            "DAG block — declare it there first"))
+    else:
+        check_layering(rel, layer, raw_lines, dag, allows, findings)
+    check_determinism(rel, lines, allows, findings)
+    check_taxonomy(rel, lines, allows, findings)
+    check_hot_path(rel, raw_lines, lines, allows, findings)
+
+
+def iter_source_files(src_root):
+    for dirpath, dirnames, filenames in os.walk(src_root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith((".cpp", ".hpp")):
+                yield os.path.join(dirpath, name)
+
+
+def main(argv=None):
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(
+        description="Lint src/ for gather's repo-specific invariants.")
+    parser.add_argument(
+        "--src", default=os.path.join(repo_root, "src"),
+        help="source tree to lint (default: <repo>/src)")
+    parser.add_argument(
+        "--arch",
+        default=os.path.join(repo_root, "docs", "ARCHITECTURE.md"),
+        help="ARCHITECTURE.md carrying the layer DAG block")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the checker classes and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print(f"{rule}: {RULES[rule]}")
+        return 0
+
+    findings = []
+    try:
+        dag = load_layer_dag(args.arch)
+        if not os.path.isdir(args.src):
+            raise LintError(f"{args.src}: not a directory")
+        count = 0
+        for path in iter_source_files(args.src):
+            rel = os.path.relpath(path, args.src).replace(os.sep, "/")
+            lint_file(path, rel, dag, findings)
+            count += 1
+        if count == 0:
+            raise LintError(f"{args.src}: no .cpp/.hpp files to lint")
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if findings:
+        for finding in findings:
+            print(f"LINT {finding}")
+        print(f"{len(findings)} finding(s) in {count} file(s)")
+        return 1
+    print(f"ok: {count} files clean over {len(dag)} layers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

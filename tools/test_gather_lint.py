@@ -1,0 +1,346 @@
+"""Unit tests for gather_lint.py (stdlib only).
+
+Each checker class gets a seeded violation in a synthetic mini-repo and
+must catch it; the final test lints the real src/ tree, so this file
+doubles as the repo-drift gate (the same run CI performs).
+"""
+
+import contextlib
+import io
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import gather_lint as lint
+
+ARCH_BLOCK = """# Architecture
+
+<!-- gather-lint: layer-dag-begin -->
+```text
+support:
+graph: support
+sim: graph support
+```
+<!-- gather-lint: layer-dag-end -->
+"""
+
+
+class LintHarness(unittest.TestCase):
+    """Builds a throwaway src/ tree and runs the linter over it."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.arch = os.path.join(self.tmp.name, "ARCHITECTURE.md")
+        self.src = os.path.join(self.tmp.name, "src")
+        os.makedirs(self.src)
+        self.write_arch(ARCH_BLOCK)
+
+    def write_arch(self, text):
+        with open(self.arch, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+    def write_src(self, rel, text):
+        path = os.path.join(self.src, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+    def run_lint(self):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(out):
+            code = lint.main(["--src", self.src, "--arch", self.arch])
+        return code, out.getvalue()
+
+    def assert_finding(self, rule, fragment=None):
+        code, out = self.run_lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn(f"[{rule}]", out)
+        if fragment is not None:
+            self.assertIn(fragment, out)
+        return out
+
+    def assert_clean(self):
+        code, out = self.run_lint()
+        self.assertEqual(code, 0, out)
+        return out
+
+
+class LayeringTest(LintHarness):
+    def test_downward_include_passes(self):
+        self.write_src("graph/graph.cpp", '#include "support/math.hpp"\n')
+        self.assert_clean()
+
+    def test_upward_include_caught(self):
+        self.write_src("support/math.cpp", '#include "graph/graph.hpp"\n')
+        self.assert_finding("layering", "'support' must not include 'graph'")
+
+    def test_sideways_include_caught(self):
+        # graph may not reach sim even though both may reach support.
+        self.write_src("graph/io.cpp", '#include "sim/engine.hpp"\n')
+        self.assert_finding("layering", "'graph' must not include 'sim'")
+
+    def test_self_layer_include_passes(self):
+        self.write_src("sim/engine.cpp", '#include "sim/engine.hpp"\n')
+        self.assert_clean()
+
+    def test_undeclared_layer_directory_caught(self):
+        self.write_src("rogue/new_code.cpp", "int x;\n")
+        self.assert_finding("layering", "directory 'rogue'")
+
+    def test_include_of_undeclared_layer_caught(self):
+        self.write_src("sim/engine.cpp", '#include "rogue/thing.hpp"\n')
+        self.assert_finding("layering", "not a layer")
+
+    def test_allow_pragma_suppresses(self):
+        self.write_src(
+            "support/math.cpp",
+            '#include "graph/graph.hpp"  '
+            "// gather-lint: allow(layering) transitional shim\n")
+        self.assert_clean()
+
+
+class DagParsingTest(LintHarness):
+    def test_missing_block_is_unusable(self):
+        self.write_arch("# Architecture\nno block here\n")
+        self.write_src("support/a.cpp", "int x;\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 2, out)
+
+    def test_cyclic_dag_is_unusable(self):
+        self.write_arch(
+            "<!-- gather-lint: layer-dag-begin -->\n"
+            "a: b\nb: a\n"
+            "<!-- gather-lint: layer-dag-end -->\n")
+        self.write_src("a/a.cpp", "int x;\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 2, out)
+        self.assertIn("cycle", out)
+
+    def test_undeclared_dependency_is_unusable(self):
+        self.write_arch(
+            "<!-- gather-lint: layer-dag-begin -->\n"
+            "a: ghost\n"
+            "<!-- gather-lint: layer-dag-end -->\n")
+        self.write_src("a/a.cpp", "int x;\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 2, out)
+
+    def test_real_repo_block_parses(self):
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        dag = lint.load_layer_dag(
+            os.path.join(repo, "docs", "ARCHITECTURE.md"))
+        self.assertIn("support", dag)
+        self.assertEqual(dag["support"], set())
+        self.assertIn("graph", dag["sim"])
+
+
+class DeterminismTest(LintHarness):
+    def test_std_rand_caught(self):
+        self.write_src("sim/engine.cpp", "int r = std::rand();\n")
+        self.assert_finding("determinism", "std::rand")
+
+    def test_random_device_caught(self):
+        self.write_src("sim/engine.cpp", "std::random_device rd;\n")
+        self.assert_finding("determinism")
+
+    def test_wall_clock_caught(self):
+        self.write_src(
+            "sim/engine.cpp",
+            "auto t = std::chrono::steady_clock::now();\n")
+        self.assert_finding("determinism", "wall-clock")
+
+    def test_wall_clock_exempt_file_passes(self):
+        # scenario/sweep.cpp's row timing is the one sanctioned clock read.
+        self.write_arch(
+            "<!-- gather-lint: layer-dag-begin -->\n"
+            "scenario:\n"
+            "<!-- gather-lint: layer-dag-end -->\n")
+        self.write_src(
+            "scenario/sweep.cpp",
+            "auto t = std::chrono::steady_clock::now();\n")
+        self.assert_clean()
+
+    def test_unordered_container_caught(self):
+        self.write_src(
+            "graph/graph.hpp", "std::unordered_map<int, int> index_;\n")
+        self.assert_finding("determinism", "unordered")
+
+    def test_pointer_keyed_map_caught(self):
+        self.write_src(
+            "sim/engine.cpp", "std::map<Robot*, int> order_;\n")
+        self.assert_finding("determinism", "pointer-keyed")
+
+    def test_mention_in_comment_ignored(self):
+        self.write_src(
+            "sim/engine.cpp",
+            "// std::rand would break determinism here\nint x;\n")
+        self.assert_clean()
+
+    def test_mention_in_string_ignored(self):
+        self.write_src(
+            "sim/engine.cpp",
+            'const char* msg = "std::rand is banned";\n')
+        self.assert_clean()
+
+
+class TaxonomyTest(LintHarness):
+    def test_typed_throw_passes(self):
+        self.write_src(
+            "sim/engine.cpp",
+            'void f() { throw EngineInvariantError("bad"); }\n')
+        self.assert_clean()
+
+    def test_qualified_typed_throw_passes(self):
+        self.write_src(
+            "sim/engine.cpp",
+            'void f() { throw gather::ProtocolViolation("bad"); }\n')
+        self.assert_clean()
+
+    def test_rethrow_passes(self):
+        self.write_src("sim/engine.cpp", "void f() { throw; }\n")
+        self.assert_clean()
+
+    def test_untyped_throw_caught(self):
+        self.write_src(
+            "sim/engine.cpp",
+            'void f() { throw std::runtime_error("boom"); }\n')
+        self.assert_finding("taxonomy", "untyped")
+
+    def test_throw_of_int_caught(self):
+        self.write_src("sim/engine.cpp", "void f() { throw 42; }\n")
+        self.assert_finding("taxonomy")
+
+    def test_error_factory_lambda_passes(self):
+        self.write_src(
+            "sim/engine.cpp",
+            "void f() {\n"
+            "  const auto bad = [&]() {\n"
+            '    return SimError("context");\n'
+            "  };\n"
+            "  throw bad();\n"
+            "}\n")
+        self.assert_clean()
+
+    def test_non_error_factory_still_caught(self):
+        self.write_src(
+            "sim/engine.cpp",
+            "void f() {\n"
+            "  const auto make = [&]() { return 42; };\n"
+            "  throw make();\n"
+            "}\n")
+        self.assert_finding("taxonomy")
+
+    def test_bare_assert_caught(self):
+        self.write_src(
+            "sim/engine.cpp",
+            "#include <cassert>\nvoid f() { assert(1 == 1); }\n")
+        out = self.assert_finding("taxonomy", "assert")
+        self.assertIn("<cassert>", out)
+
+    def test_static_assert_passes(self):
+        self.write_src(
+            "sim/engine.cpp", "static_assert(sizeof(int) == 4);\n")
+        self.assert_clean()
+
+
+class HotPathTest(LintHarness):
+    def seeded(self, body):
+        return (
+            "void Engine::run() {\n"
+            "// gather-lint: hot-path-begin(round-loop)\n"
+            f"{body}"
+            "// gather-lint: hot-path-end(round-loop)\n"
+            "}\n")
+
+    def test_to_string_in_region_caught(self):
+        self.write_src(
+            "sim/engine.cpp",
+            self.seeded("auto s = std::to_string(r);\n"))
+        self.assert_finding("hot-path", "std::to_string")
+
+    def test_new_in_region_caught(self):
+        self.write_src(
+            "sim/engine.cpp", self.seeded("auto* p = new int[8];\n"))
+        self.assert_finding("hot-path")
+
+    def test_local_vector_in_region_caught(self):
+        self.write_src(
+            "sim/engine.cpp", self.seeded("std::vector<int> tmp;\n"))
+        self.assert_finding("hot-path")
+
+    def test_reserve_backed_push_back_passes(self):
+        self.write_src(
+            "sim/engine.cpp", self.seeded("active_.push_back(s);\n"))
+        self.assert_clean()
+
+    def test_outside_region_passes(self):
+        self.write_src(
+            "sim/engine.cpp", "auto s = std::to_string(4);\n")
+        self.assert_clean()
+
+    def test_throw_line_is_cold_and_exempt(self):
+        self.write_src(
+            "sim/engine.cpp",
+            self.seeded(
+                'if (bad) throw SimError("deadlock at " +\n'
+                "    std::to_string(r));\n"))
+        self.assert_clean()
+
+    def test_unbalanced_region_is_unusable(self):
+        self.write_src(
+            "sim/engine.cpp",
+            "// gather-lint: hot-path-begin(round-loop)\nint x;\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 2, out)
+        self.assertIn("never closed", out)
+
+    def test_mismatched_end_is_unusable(self):
+        self.write_src(
+            "sim/engine.cpp",
+            "// gather-lint: hot-path-begin(a)\n"
+            "// gather-lint: hot-path-end(b)\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 2, out)
+
+    def test_allow_pragma_suppresses(self):
+        self.write_src(
+            "sim/engine.cpp",
+            self.seeded(
+                "auto s = std::to_string(r);  "
+                "// gather-lint: allow(hot-path) one-shot diagnostics\n"))
+        self.assert_clean()
+
+
+class PragmaTest(LintHarness):
+    def test_reasonless_pragma_is_a_finding(self):
+        self.write_src(
+            "sim/engine.cpp",
+            "int x;  // gather-lint: allow(determinism)\n")
+        self.assert_finding("pragma", "without a reason")
+
+    def test_unknown_rule_pragma_is_a_finding(self):
+        self.write_src(
+            "sim/engine.cpp",
+            "int x;  // gather-lint: allow(made-up) because\n")
+        self.assert_finding("pragma", "unknown rule")
+
+
+class RepoDriftTest(unittest.TestCase):
+    """The committed tree must lint clean — the CI drift gate."""
+
+    def test_real_src_is_clean(self):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(out):
+            code = lint.main([])
+        self.assertEqual(code, 0,
+                         "gather_lint findings in src/:\n" + out.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main()
