@@ -37,7 +37,7 @@ Measurement measure(const graph::Graph& g, const graph::Placement& placement,
 
 Measurement measure(const scenario::ScenarioSpec& spec) {
   const scenario::ResolvedScenario r = scenario::resolve(spec);
-  return measure(r.graph, r.placement, r.run_spec);
+  return measure(*r.graph, r.placement, r.run_spec);
 }
 
 std::vector<Measurement> measure_scenarios(

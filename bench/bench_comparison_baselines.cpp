@@ -87,11 +87,11 @@ void run() {
     core::RunSpec faster = r.run_spec;
     faster.algorithm = core::AlgorithmKind::FasterGathering;
     fast_thunks.push_back(
-        [&r, faster] { return measure(r.graph, r.placement, faster); });
+        [&r, faster] { return measure(*r.graph, r.placement, faster); });
     core::RunSpec uxs_only = r.run_spec;
     uxs_only.algorithm = core::AlgorithmKind::UxsOnly;
     uxs_thunks.push_back(
-        [&r, uxs_only] { return measure(r.graph, r.placement, uxs_only); });
+        [&r, uxs_only] { return measure(*r.graph, r.placement, uxs_only); });
   }
   const auto fast_results = measure_all(fast_thunks);
   const auto uxs_results = measure_all(uxs_thunks);
@@ -107,7 +107,7 @@ void run() {
     const auto& mf = fast_results[i];
     const auto& mu = uxs_results[i];
     const scenario::ResolvedScenario& r = resolved[i];
-    const std::uint64_t rw = random_walk_rounds(r.graph, r.placement, 51);
+    const std::uint64_t rw = random_walk_rounds(*r.graph, r.placement, 51);
     const double fr = static_cast<double>(mf.outcome.result.metrics.rounds);
     const double ur = static_cast<double>(mu.outcome.result.metrics.rounds);
     table.add_row(

@@ -1,0 +1,135 @@
+#include "scenario/graph_cache.hpp"
+
+#include <utility>
+
+namespace gather::scenario {
+namespace {
+
+std::uint64_t csr_bytes(const graph::Graph& g) {
+  return static_cast<std::uint64_t>(g.offsets().size()) * sizeof(std::uint32_t) +
+         static_cast<std::uint64_t>(2 * g.num_edges()) * sizeof(graph::HalfEdge);
+}
+
+}  // namespace
+
+GraphCache::GraphCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::string GraphCache::key_of(const std::string& family, const Params& params,
+                               std::size_t n, std::uint64_t graph_seed) {
+  // Newline-framed fields; Params::entries() is a std::map, so the
+  // key=value lines come out sorted — the canonical order — no matter
+  // how the caller populated the bag.
+  std::string key = family;
+  key += '\n';
+  key += std::to_string(n);
+  key += '\n';
+  key += std::to_string(graph_seed);
+  for (const auto& [name, value] : params.entries()) {
+    key += '\n';
+    key += name;
+    key += '=';
+    key += value;
+  }
+  return key;
+}
+
+std::shared_ptr<const graph::Graph> GraphCache::get_or_build(
+    const std::string& family, const Params& params, std::size_t n,
+    std::uint64_t graph_seed, const std::function<graph::Graph()>& build) {
+  const std::string key = key_of(family, params, n, graph_seed);
+  std::promise<std::shared_ptr<const graph::Graph>> promise;
+  std::shared_future<std::shared_ptr<const graph::Graph>> future;
+  bool is_builder = false;
+  std::uint64_t epoch_at_insert = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      it->second.last_use = ++tick_;
+      future = it->second.future;
+    } else {
+      ++stats_.misses;
+      is_builder = true;
+      epoch_at_insert = epoch_;
+      Entry entry;
+      entry.future = promise.get_future().share();
+      entry.last_use = ++tick_;
+      future = entry.future;
+      entries_.emplace(key, std::move(entry));
+    }
+  }
+  if (!is_builder) {
+    // Waits for the builder when the entry is in flight; rethrows the
+    // builder's exception if the build failed.
+    return future.get();
+  }
+  try {
+    auto built = std::make_shared<const graph::Graph>(build());
+    promise.set_value(built);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // clear() may have raced the build (epoch bump): the entry we
+    // inserted — or a successor under the same key — is no longer ours
+    // to publish; hand the graph to our caller and leave the map alone.
+    const auto it = entries_.find(key);
+    if (it != entries_.end() && epoch_ == epoch_at_insert) {
+      it->second.ready = true;
+      it->second.bytes = csr_bytes(*built);
+      std::size_t ready_count = 0;
+      for (const auto& [k, e] : entries_) ready_count += e.ready ? 1 : 0;
+      while (ready_count > capacity_) {
+        evict_lru_locked();
+        --ready_count;
+      }
+    }
+    return built;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end() && epoch_ == epoch_at_insert) entries_.erase(it);
+    throw;
+  }
+}
+
+void GraphCache::evict_lru_locked() {
+  auto victim = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (!it->second.ready) continue;  // never evict an in-flight build
+    if (victim == entries_.end() ||
+        it->second.last_use < victim->second.last_use) {
+      victim = it;
+    }
+  }
+  if (victim == entries_.end()) return;
+  entries_.erase(victim);
+  ++stats_.evictions;
+}
+
+GraphCacheStats GraphCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  GraphCacheStats out = stats_;
+  out.entries = 0;
+  out.resident_bytes = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.ready) continue;
+    ++out.entries;
+    out.resident_bytes += entry.bytes;
+  }
+  return out;
+}
+
+void GraphCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = GraphCacheStats{};
+  ++epoch_;
+}
+
+GraphCache& graph_cache() {
+  static GraphCache cache;
+  return cache;
+}
+
+}  // namespace gather::scenario

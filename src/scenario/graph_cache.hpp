@@ -1,0 +1,103 @@
+// Immutable graph cache — one physically shared CSR instance per
+// distinct (family, params, n, graph sub-seed) across all sweep workers
+// and sweep points.
+//
+// The gimsatul portfolio-solver shape: the expensive immutable structure
+// (their clause database, our `graph::Graph`) is built once and shared
+// by reference across every thread; each run owns only its mutable
+// per-run state (engine, robots, placement). Graph construction is a
+// pure function of the key — generators draw from the seeded
+// deterministic RNG only — so a cache hit returns a graph byte-identical
+// to what a fresh build would produce, and because `graph::Graph` is
+// immutable after construction, concurrent readers need no
+// synchronization.
+//
+// Concurrency: the first resolver of a key builds while holding only a
+// per-entry future — other threads resolving the same key wait on that
+// future instead of duplicating the build (a sweep's first points
+// typically hit the same few families at once). A failed build erases
+// the entry (waiters get the exception; later calls retry). Eviction is
+// LRU over completed entries, driven by a logical access tick — never a
+// wall clock (the determinism lint bans clock reads in src/).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "scenario/registry.hpp"
+
+namespace gather::scenario {
+
+/// Counters for `gather_cli --cache-stats` and SweepRunner stats.
+/// `resident_bytes` is the CSR payload held by live entries (half-edge
+/// array + offset array), not allocator overhead.
+struct GraphCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::uint64_t resident_bytes = 0;
+};
+
+class GraphCache {
+ public:
+  /// Capacity is in completed entries; in-flight builds are never
+  /// evicted. The default comfortably holds every family × size × seed
+  /// combination of the CI sweep grids.
+  explicit GraphCache(std::size_t capacity = 256);
+
+  /// The canonical cache key. Params serialize in std::map order, so
+  /// two Params with the same entries produce the same key regardless
+  /// of insertion order. Exposed for the canonicalization unit tests.
+  [[nodiscard]] static std::string key_of(const std::string& family,
+                                          const Params& params, std::size_t n,
+                                          std::uint64_t graph_seed);
+
+  /// Return the shared graph for the key, invoking `build` exactly once
+  /// per resident key (concurrent callers of the same key wait for the
+  /// builder instead of building again). If `build` throws, every
+  /// waiter receives the exception and the key is erased so a later
+  /// call can retry.
+  [[nodiscard]] std::shared_ptr<const graph::Graph> get_or_build(
+      const std::string& family, const Params& params, std::size_t n,
+      std::uint64_t graph_seed,
+      const std::function<graph::Graph()>& build);
+
+  [[nodiscard]] GraphCacheStats stats() const;
+
+  /// Drop every completed entry and reset the counters (bench cold-start
+  /// hygiene; in-flight builds complete but are not re-inserted).
+  void clear();
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<const graph::Graph>> future;
+    std::uint64_t last_use = 0;
+    bool ready = false;
+    std::uint64_t bytes = 0;
+  };
+
+  void evict_lru_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t tick_ = 0;       ///< logical LRU clock
+  std::uint64_t epoch_ = 0;      ///< bumped by clear(); stale builds discard
+  GraphCacheStats stats_;
+};
+
+/// The process-wide cache scenario::resolve() goes through. Families
+/// whose factories are not pure functions of the key (today: "file",
+/// which reads the filesystem) bypass it.
+[[nodiscard]] GraphCache& graph_cache();
+
+}  // namespace gather::scenario

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/algorithms.hpp"
+#include "scenario/graph_cache.hpp"
 #include "sim/trace.hpp"
 #include "support/rng.hpp"
 
@@ -10,6 +11,21 @@ namespace gather::scenario {
 
 std::uint64_t sub_seed(std::uint64_t seed, SeedAxis axis) {
   return support::hash_combine(seed, static_cast<std::uint64_t>(axis));
+}
+
+std::shared_ptr<const graph::Graph> resolve_graph(const ScenarioSpec& spec) {
+  const auto& family = graph_families().get(spec.family);
+  graph_families().validate_params(family, spec.family_params);
+  const std::uint64_t graph_seed = sub_seed(spec.seed, SeedAxis::Graph);
+  if (spec.family == "file") {
+    // Reads the filesystem — not a pure function of the key, so a cache
+    // hit could mask an edited file. Build fresh every time.
+    return std::make_shared<const graph::Graph>(
+        family.factory(spec.n, spec.family_params, graph_seed));
+  }
+  return graph_cache().get_or_build(
+      spec.family, spec.family_params, spec.n, graph_seed,
+      [&] { return family.factory(spec.n, spec.family_params, graph_seed); });
 }
 
 ResolvedScenario resolve(const ScenarioSpec& spec) {
@@ -25,29 +41,28 @@ ResolvedScenario resolve(const ScenarioSpec& spec) {
 
   ResolvedScenario r;
   r.requested_n = spec.n;
-  r.graph = family.factory(spec.n, spec.family_params,
-                           sub_seed(spec.seed, SeedAxis::Graph));
-  r.realized_n = r.graph.num_nodes();
+  r.graph = resolve_graph(spec);
+  r.realized_n = r.graph->num_nodes();
 
   const std::vector<graph::NodeId> nodes =
-      placement.factory(r.graph, spec.k, spec.placement_params,
+      placement.factory(*r.graph, spec.k, spec.placement_params,
                         sub_seed(spec.seed, SeedAxis::Placement));
   const std::vector<graph::RobotLabel> labels =
       labeling.factory(spec.k, r.realized_n, spec.id_exponent_b,
                        sub_seed(spec.seed, SeedAxis::Labels));
   r.placement = graph::make_placement(nodes, labels);
   if (spec.k >= 2) {
-    r.min_pair_distance = graph::min_pairwise_distance(r.graph, nodes);
+    r.min_pair_distance = graph::min_pairwise_distance(*r.graph, nodes);
   }
 
   r.run_spec.algorithm = algorithm.factory;
   r.run_spec.config = core::make_config(
-      r.graph,
-      sequence.factory(r.graph, sub_seed(spec.seed, SeedAxis::Sequence)));
+      *r.graph,
+      sequence.factory(*r.graph, sub_seed(spec.seed, SeedAxis::Sequence)));
   r.run_spec.config.id_exponent_b = spec.id_exponent_b;
   if (spec.delta_aware) {
     r.run_spec.config.delta_aware = true;
-    r.run_spec.config.known_delta = r.graph.max_degree();
+    r.run_spec.config.known_delta = r.graph->max_degree();
   }
   r.run_spec.config.known_min_pair_distance = spec.known_min_pair_distance;
   r.run_spec.record_trace = spec.record_trace;
@@ -62,6 +77,43 @@ ResolvedScenario resolve(const ScenarioSpec& spec) {
   return r;
 }
 
+std::string fingerprint(const ScenarioSpec& spec) {
+  // Newline-framed field=value lines; Params serialize in std::map
+  // order, so logically equal specs always produce identical bytes.
+  std::string fp;
+  const auto field = [&fp](const char* name, const std::string& value) {
+    fp += name;
+    fp += '=';
+    fp += value;
+    fp += '\n';
+  };
+  const auto params = [&field](const char* name, const Params& bag) {
+    for (const auto& [key, value] : bag.entries()) {
+      field(name, key + ':' + value);
+    }
+  };
+  field("family", spec.family);
+  params("family_param", spec.family_params);
+  field("placement", spec.placement);
+  params("placement_param", spec.placement_params);
+  field("labeling", spec.labeling);
+  field("algorithm", spec.algorithm);
+  field("sequence", spec.sequence);
+  field("scheduler", spec.scheduler);
+  params("scheduler_param", spec.scheduler_params);
+  field("n", std::to_string(spec.n));
+  field("k", std::to_string(spec.k));
+  field("id_exponent_b", std::to_string(spec.id_exponent_b));
+  field("seed", std::to_string(spec.seed));
+  field("delta_aware", spec.delta_aware ? "1" : "0");
+  field("known_min_pair_distance",
+        std::to_string(spec.known_min_pair_distance));
+  field("record_trace", spec.record_trace ? "1" : "0");
+  // trace_path is deliberately absent: it names where a trace goes, not
+  // what the run does.
+  return fp;
+}
+
 core::RunOutcome run_scenario(const ScenarioSpec& spec) {
   return run_resolved(resolve(spec), spec.trace_path);
 }
@@ -69,7 +121,7 @@ core::RunOutcome run_scenario(const ScenarioSpec& spec) {
 core::RunOutcome run_resolved(const ResolvedScenario& resolved,
                               const std::string& trace_path) {
   if (trace_path.empty()) {
-    return core::run_gathering(resolved.graph, resolved.placement,
+    return core::run_gathering(*resolved.graph, resolved.placement,
                                resolved.run_spec);
   }
   sim::TraceRecorder recorder;
@@ -77,7 +129,7 @@ core::RunOutcome run_resolved(const ResolvedScenario& resolved,
   spec.trace_recorder = &recorder;
   try {
     const core::RunOutcome out =
-        core::run_gathering(resolved.graph, resolved.placement, spec);
+        core::run_gathering(*resolved.graph, resolved.placement, spec);
     sim::write_trace_file(trace_path, recorder.bytes());
     return out;
   } catch (const ProtocolViolation&) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/run.hpp"
@@ -56,12 +57,18 @@ struct ScenarioSpec {
   std::string trace_path;
 };
 
-/// A resolved, runnable instance. `realized_n == graph.num_nodes()`;
+/// A resolved, runnable instance. `realized_n == graph->num_nodes()`;
 /// when it differs from the request (hypercube rounding, near-square
 /// tori, parity-fixed regular graphs) harnesses must report it rather
 /// than pretend the requested n ran.
+///
+/// The graph is held by shared pointer to one IMMUTABLE instance that
+/// the process-wide graph cache may hand to any number of concurrent
+/// resolutions of the same (family, params, n, graph sub-seed) — the
+/// sweep runner's workers all read the same CSR arrays. Everything else
+/// in here is per-run mutable state owned by this resolution alone.
 struct ResolvedScenario {
-  graph::Graph graph;
+  std::shared_ptr<const graph::Graph> graph;
   graph::Placement placement;
   core::RunSpec run_spec;
   std::size_t requested_n = 0;
@@ -70,10 +77,29 @@ struct ResolvedScenario {
   std::uint32_t min_pair_distance = 0;
 };
 
+/// Graph resolution alone: look up the family, validate its params, and
+/// return the shared immutable graph — through the process-wide
+/// scenario::graph_cache() for every family whose factory is a pure
+/// function of (family, params, n, graph sub-seed); the "file" family
+/// reads the filesystem and therefore bypasses the cache. resolve()
+/// composes this with run resolution; harnesses that only need the
+/// graph (DOT export, coverage probes) call it directly.
+[[nodiscard]] std::shared_ptr<const graph::Graph> resolve_graph(
+    const ScenarioSpec& spec);
+
 /// Look up every axis, validate parameters, and build the instance.
 /// Throws ScenarioError (with candidate suggestions) on unknown keys or
 /// unsatisfiable specs.
 [[nodiscard]] ResolvedScenario resolve(const ScenarioSpec& spec);
+
+/// Canonical serialization of every behavior-relevant spec field (all
+/// axes, params in sorted order, scalar knobs, knowledge flags, seed) —
+/// the key of the sweep result cache. Excludes `trace_path` (an output
+/// location, not behavior). Sound as a memo key because rows are a pure,
+/// byte-deterministic function of the spec (the SweepRunner contract
+/// pinned since the scenario layer landed): equal fingerprints imply
+/// byte-identical outcomes.
+[[nodiscard]] std::string fingerprint(const ScenarioSpec& spec);
 
 /// resolve() + core::run_gathering() in one call (honors
 /// spec.trace_path).

@@ -1,6 +1,7 @@
 #include "scenario/sweep.hpp"
 
 #include <chrono>
+#include <optional>
 #include <ostream>
 
 #include "support/json.hpp"
@@ -164,22 +165,39 @@ std::vector<SweepPoint> SweepRunner::enumerate(const SweepSpec& sweep) {
   return points;
 }
 
-std::vector<SweepRow> SweepRunner::run(const SweepSpec& sweep) {
+std::vector<SweepRow> SweepRunner::run(const SweepSpec& sweep,
+                                       SweepStats* stats) {
   const std::vector<SweepPoint> points = enumerate(sweep);
   const unsigned threads =
       sweep.threads == 0 ? support::default_thread_count() : sweep.threads;
+  // A result-cache hit skips the run, so it must be off whenever a row
+  // has an observable side effect the memo cannot replay — today that
+  // is the per-row trace file.
+  const bool memo = sweep.use_result_cache && sweep.trace_dir.empty();
   std::vector<std::string> infeasible(points.size());
   std::vector<SweepRow> rows = support::parallel_map_index<SweepRow>(
-      points.size(), threads, [&](std::size_t i) {
+      points.size(), threads,
+      [&](std::size_t i) {
         const SweepPoint& point = points[i];
         SweepRow row;
         row.spec = point.spec;
         row.k_rule = point.k_rule;
+        std::string fp;
+        if (memo) {
+          fp = fingerprint(point.spec);
+          if (const std::optional<CachedRun> hit = result_cache().lookup(fp)) {
+            row.realized_n = hit->realized_n;
+            row.min_pair_distance = hit->min_pair_distance;
+            row.outcome = hit->outcome;
+            return row;
+          }
+        }
         // Only RESOLUTION failures count as infeasible: factories signal
         // a bad combination via ScenarioError or a precondition
         // ContractViolation (e.g. no node pair at the requested
         // distance). Errors from the simulation itself always propagate.
         ResolvedScenario resolved;
+        const auto resolve_start = std::chrono::steady_clock::now();
         try {
           resolved = resolve(point.spec);
         } catch (const ScenarioError& e) {
@@ -191,6 +209,10 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& sweep) {
           infeasible[i] = e.what();
           return row;
         }
+        row.resolve_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          resolve_start)
+                .count();
         row.realized_n = resolved.realized_n;
         row.min_pair_distance = resolved.min_pair_distance;
         const std::string trace_path =
@@ -221,8 +243,21 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& sweep) {
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start)
                 .count();
+        // Violation rows stay out of the memo: whether they record or
+        // abort depends on the tolerance flag, which is harness policy
+        // outside the fingerprint.
+        if (memo && !row.protocol_violation) {
+          result_cache().store(
+              fp, CachedRun{row.realized_n, row.min_pair_distance,
+                            row.outcome});
+        }
         return row;
-      });
+      },
+      sweep.steal_chunk);
+  if (stats != nullptr) {
+    stats->graph_cache = graph_cache().stats();
+    stats->result_cache = result_cache().stats();
+  }
   if (sweep.skip_infeasible) {
     std::size_t kept = 0;
     for (std::size_t i = 0; i < rows.size(); ++i) {

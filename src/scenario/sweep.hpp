@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "scenario/graph_cache.hpp"
+#include "scenario/result_cache.hpp"
 #include "scenario/scenario.hpp"
 
 namespace gather::scenario {
@@ -91,6 +93,20 @@ struct SweepSpec {
 
   /// Worker threads; 0 = support::default_thread_count().
   unsigned threads = 0;
+
+  /// Indices per steal chunk for the work-stealing executor; 0 = auto
+  /// (count / (workers * 8), floored to 1). Exposed mainly so the
+  /// determinism stress tests can force chunk=1 — maximal stealing —
+  /// and assert the CSV bytes still don't move.
+  std::size_t steal_chunk = 0;
+
+  /// When true, points whose fingerprint is already in the process-wide
+  /// scenario::result_cache() reuse the memoized outcome instead of
+  /// re-running (sound because rows are pure functions of their spec;
+  /// see result_cache.hpp). Ignored — the cache is bypassed — when
+  /// trace_dir is set, since a hit would skip the row's trace write.
+  /// Protocol-violation rows and infeasible points are never stored.
+  bool use_result_cache = false;
 };
 
 /// One grid point before execution.
@@ -111,7 +127,22 @@ struct SweepRow {
   /// SweepSpec::tolerate_protocol_violations is set); outcome is
   /// default-initialized in that case.
   bool protocol_violation = false;
-  double wall_seconds = 0.0;  ///< excluded from CSV/JSON (nondeterministic)
+  /// Wall-clock timings for interactive display and the throughput
+  /// bench; both deliberately excluded from CSV/JSON (nondeterministic,
+  /// would break the byte-identical contract). resolve_seconds covers
+  /// graph + run resolution (near-zero on a graph-cache hit);
+  /// wall_seconds covers the simulation itself (zero on a result-cache
+  /// hit, which skips it).
+  double resolve_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Process-wide cache counter snapshot taken after a sweep finishes
+/// (counters accumulate across sweeps in one process — interleaved A/B
+/// harnesses should clear() the caches between phases).
+struct SweepStats {
+  GraphCacheStats graph_cache;
+  ResultCacheStats result_cache;
 };
 
 class SweepRunner {
@@ -123,8 +154,10 @@ class SweepRunner {
 
   /// Execute all points in parallel; rows come back in enumeration order.
   /// A point whose resolution fails throws ScenarioError after workers
-  /// join — sweep specs are validated by running them.
-  [[nodiscard]] static std::vector<SweepRow> run(const SweepSpec& spec);
+  /// join — sweep specs are validated by running them. When `stats` is
+  /// non-null it receives the post-sweep cache counter snapshot.
+  [[nodiscard]] static std::vector<SweepRow> run(const SweepSpec& spec,
+                                                 SweepStats* stats = nullptr);
 
   /// Deterministic per-point trace file name used with
   /// SweepSpec::trace_dir ('/' in k-rule names is sanitized to '-').

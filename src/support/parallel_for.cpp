@@ -1,7 +1,6 @@
 #include "support/parallel_for.hpp"
 
 #include <cstdlib>
-#include <mutex>
 
 namespace gather::support {
 
@@ -14,47 +13,6 @@ unsigned default_thread_count() {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
-}
-
-void parallel_for_index(std::size_t count, unsigned threads,
-                        const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
-  if (threads <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(threads, count));
-  std::atomic<std::size_t> next{0};
-  // Error propagation: the first captured exception wins (capture order,
-  // serialized by the mutex); `stop` then keeps other workers from
-  // claiming further indices, so the pool drains and joins promptly
-  // instead of finishing the whole sweep after a failure. The flag is
-  // advisory — an index already claimed still runs to completion — so a
-  // clean run is bit-identical to serial execution.
-  std::atomic<bool> stop{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        if (stop.load(std::memory_order_relaxed)) return;
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        try {
-          fn(i);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          stop.store(true, std::memory_order_relaxed);
-        }
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace gather::support

@@ -30,9 +30,9 @@ TEST(Registries, EveryFamilyResolvesConnectedAndReportsRealizedN) {
     ScenarioSpec spec = tiny_spec();
     spec.family = name;
     const ResolvedScenario r = resolve(spec);
-    EXPECT_TRUE(graph::validate(r.graph)) << name;
-    EXPECT_TRUE(graph::is_connected(r.graph)) << name;
-    EXPECT_EQ(r.realized_n, r.graph.num_nodes()) << name;
+    EXPECT_TRUE(graph::validate(*r.graph)) << name;
+    EXPECT_TRUE(graph::is_connected(*r.graph)) << name;
+    EXPECT_EQ(r.realized_n, r.graph->num_nodes()) << name;
     EXPECT_EQ(r.requested_n, spec.n) << name;
     EXPECT_EQ(r.placement.size(), spec.k) << name;
   }

@@ -308,6 +308,61 @@ TEST(ParallelFor, MapExceptionPropagates) {
                SimError);
 }
 
+TEST(ParallelFor, TinyStealChunkVisitsAllIndicesOnce) {
+  // steal_chunk=1 maximizes steal traffic: every index is its own
+  // stealing currency, so this pins the deque claim/steal paths under
+  // the worst-case schedule. Each index must still run exactly once.
+  std::vector<std::atomic<int>> counts(257);
+  parallel_for_index(
+      257, 8, [&](std::size_t i) { counts[i]++; }, 1);
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelFor, StealChunkLargerThanCount) {
+  // One chunk per worker slab: stealing degenerates to the static
+  // partition, which must still cover the range exactly once.
+  std::vector<std::atomic<int>> counts(5);
+  parallel_for_index(
+      5, 3, [&](std::size_t i) { counts[i]++; }, 1000);
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelFor, MapMatchesSerialForTinyStealChunk) {
+  // The executor contract — identical to serial execution — must hold
+  // under the most steal-heavy schedule, not just the auto chunking.
+  const auto serial = parallel_map_index<std::uint64_t>(
+      97, 1, [](std::size_t i) { return i * 2654435761u; });
+  for (unsigned threads : {2u, 3u, 8u, 97u}) {
+    const auto stolen = parallel_map_index<std::uint64_t>(
+        97, threads, [](std::size_t i) { return i * 2654435761u; }, 1);
+    EXPECT_EQ(stolen, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, PlainFunctorCallable) {
+  // The callable is a template parameter (no std::function in the
+  // per-index path) — a plain functor must work without any conversion.
+  struct Doubler {
+    std::vector<std::atomic<int>>* counts;
+    void operator()(std::size_t i) const { (*counts)[i] += 2; }
+  };
+  std::vector<std::atomic<int>> counts(64);
+  parallel_for_index(64, 4, Doubler{&counts});
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 2);
+}
+
+TEST(ParallelFor, ErrorUnderTinyStealChunkStillPropagates) {
+  for (int iter = 0; iter < 20; ++iter) {
+    EXPECT_THROW(parallel_for_index(
+                     64, 4,
+                     [](std::size_t i) {
+                       if (i == 13) throw SimError("stolen boom");
+                     },
+                     1),
+                 SimError);
+  }
+}
+
 TEST(ParallelFor, MapMatchesSerialForEveryThreadCount) {
   // Result-order determinism: the executor contract is "identical to
   // serial execution" regardless of worker count or claim interleaving.

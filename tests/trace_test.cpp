@@ -113,7 +113,7 @@ std::string roundtrip_one(const std::string& family,
   std::string violation_message;
   core::RunOutcome live;
   try {
-    live = core::run_gathering(resolved.graph, resolved.placement, run_spec);
+    live = core::run_gathering(*resolved.graph, resolved.placement, run_spec);
   } catch (const ProtocolViolation& e) {
     threw = true;
     violation_message = e.what();

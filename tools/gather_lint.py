@@ -46,6 +46,15 @@ probe dynamically:
     pre-reserved capacity preserves. Lines that throw are cold paths and
     exempt.
 
+``hot-template``
+    Regions bracketed by ``// gather-lint: hot-template-begin(NAME)`` /
+    ``hot-template-end(NAME)`` (the work-stealing executor's templated
+    dispatch) must not mention ``std::function``: these templates exist
+    precisely so the per-index callable is devirtualized and inlined,
+    and a ``std::function`` parameter or member would silently
+    reintroduce one type-erased indirect call per index. Pass the
+    callable as a deduced template parameter instead.
+
 Suppression: append ``// gather-lint: allow(RULE) REASON`` to the
 offending line. A pragma without a reason is itself a finding.
 
@@ -66,6 +75,10 @@ DAG_BEGIN = "gather-lint: layer-dag-begin"
 DAG_END = "gather-lint: layer-dag-end"
 HOT_BEGIN_RE = re.compile(r"gather-lint:\s*hot-path-begin\((?P<name>[\w-]+)\)")
 HOT_END_RE = re.compile(r"gather-lint:\s*hot-path-end\((?P<name>[\w-]+)\)")
+HOT_TEMPLATE_BEGIN_RE = re.compile(
+    r"gather-lint:\s*hot-template-begin\((?P<name>[\w-]+)\)")
+HOT_TEMPLATE_END_RE = re.compile(
+    r"gather-lint:\s*hot-template-end\((?P<name>[\w-]+)\)")
 ALLOW_RE = re.compile(r"gather-lint:\s*allow\((?P<rule>[\w-]+)\)\s*(?P<reason>.*)")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"(?P<head>[\w.-]+)/')
@@ -108,11 +121,14 @@ HOT_PATH_ALLOC_RE = re.compile(
     r"|std::string\s*[({]|std::ostringstream\b|std::stringstream\b"
     r"|std::function\s*<|std::vector\s*<")
 
+HOT_TEMPLATE_BAN_RE = re.compile(r"std::function\b")
+
 RULES = {
     "layering": "include edges must follow the ARCHITECTURE.md layer DAG",
     "determinism": "no nondeterminism sources in src/",
     "taxonomy": "throws must be typed error classes; no bare assert()",
     "hot-path": "no allocating constructs in marked round-loop regions",
+    "hot-template": "no std::function in marked templated-dispatch regions",
     "pragma": "allow() pragmas must carry a reason",
 }
 
@@ -372,6 +388,38 @@ def check_hot_path(rel, raw_lines, lines, allows, findings):
         raise LintError(f"{rel}: hot-path region '{region}' never closed")
 
 
+def check_hot_template(rel, raw_lines, lines, allows, findings):
+    region = None
+    for lineno, (raw, line) in enumerate(zip(raw_lines, lines), start=1):
+        begin = HOT_TEMPLATE_BEGIN_RE.search(raw)
+        end = HOT_TEMPLATE_END_RE.search(raw)
+        if begin:
+            if region is not None:
+                raise LintError(
+                    f"{rel}:{lineno}: hot-template-begin"
+                    f"({begin.group('name')}) inside open region '{region}'")
+            region = begin.group("name")
+            continue
+        if end:
+            if region != end.group("name"):
+                raise LintError(
+                    f"{rel}:{lineno}: hot-template-end({end.group('name')}) "
+                    f"does not close open region {region!r}")
+            region = None
+            continue
+        if region is None:
+            continue
+        if HOT_TEMPLATE_BAN_RE.search(line) and \
+                "hot-template" not in allows.get(lineno, ()):
+            findings.append(Finding(
+                rel, lineno, "hot-template",
+                f"std::function in hot-template region '{region}' — the "
+                "dispatch is templated so the callable inlines; take a "
+                "deduced template parameter instead of type erasure"))
+    if region is not None:
+        raise LintError(f"{rel}: hot-template region '{region}' never closed")
+
+
 def lint_file(path, rel, dag, findings):
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -392,6 +440,7 @@ def lint_file(path, rel, dag, findings):
     check_determinism(rel, lines, allows, findings)
     check_taxonomy(rel, lines, allows, findings)
     check_hot_path(rel, raw_lines, lines, allows, findings)
+    check_hot_template(rel, raw_lines, lines, allows, findings)
 
 
 def iter_source_files(src_root):

@@ -316,6 +316,72 @@ class HotPathTest(LintHarness):
         self.assert_clean()
 
 
+class HotTemplateTest(LintHarness):
+    def seeded(self, body):
+        return (
+            "// gather-lint: hot-template-begin(parallel-executor)\n"
+            f"{body}"
+            "// gather-lint: hot-template-end(parallel-executor)\n")
+
+    def test_std_function_parameter_caught(self):
+        self.write_src(
+            "support/parallel_for.hpp",
+            self.seeded(
+                "void parallel_for_index(std::size_t count,\n"
+                "    const std::function<void(std::size_t)>& fn);\n"))
+        self.assert_finding("hot-template", "std::function")
+
+    def test_std_function_member_caught(self):
+        self.write_src(
+            "support/parallel_for.hpp",
+            self.seeded("std::function<void()> task_;\n"))
+        self.assert_finding("hot-template")
+
+    def test_templated_callable_passes(self):
+        self.write_src(
+            "support/parallel_for.hpp",
+            self.seeded(
+                "template <typename Fn>\n"
+                "void parallel_for_index(std::size_t count, Fn&& fn);\n"))
+        self.assert_clean()
+
+    def test_std_function_outside_region_passes(self):
+        self.write_src(
+            "support/parallel_for.hpp",
+            "std::function<void()> cold_path;\n")
+        self.assert_clean()
+
+    def test_mention_in_comment_ignored(self):
+        self.write_src(
+            "support/parallel_for.hpp",
+            self.seeded("int x;  // no std::function here, devirtualized\n"))
+        self.assert_clean()
+
+    def test_unbalanced_region_is_unusable(self):
+        self.write_src(
+            "support/parallel_for.hpp",
+            "// gather-lint: hot-template-begin(parallel-executor)\nint x;\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 2, out)
+        self.assertIn("never closed", out)
+
+    def test_mismatched_end_is_unusable(self):
+        self.write_src(
+            "support/parallel_for.hpp",
+            "// gather-lint: hot-template-begin(a)\n"
+            "// gather-lint: hot-template-end(b)\n")
+        code, out = self.run_lint()
+        self.assertEqual(code, 2, out)
+
+    def test_allow_pragma_suppresses(self):
+        self.write_src(
+            "support/parallel_for.hpp",
+            self.seeded(
+                "std::function<void()> task_;  "
+                "// gather-lint: allow(hot-template) cold setup path\n"))
+        self.assert_clean()
+
+
 class PragmaTest(LintHarness):
     def test_reasonless_pragma_is_a_finding(self):
         self.write_src(
