@@ -26,7 +26,7 @@ double Stopwatch::seconds() const {
   return std::chrono::duration<double>(now - start_).count();
 }
 
-Measurement measure(const graph::Graph& g, const graph::Placement& placement,
+Measurement measure(const graph::Topology& g, const graph::Placement& placement,
                     const core::RunSpec& spec) {
   Measurement m;
   const Stopwatch watch;

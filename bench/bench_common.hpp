@@ -44,7 +44,7 @@ struct Measurement {
 };
 
 /// Run one gathering instance with wall-clock timing.
-[[nodiscard]] Measurement measure(const graph::Graph& g,
+[[nodiscard]] Measurement measure(const graph::Topology& g,
                                   const graph::Placement& placement,
                                   const core::RunSpec& spec);
 

@@ -22,7 +22,7 @@
 namespace gather::bench {
 namespace {
 
-std::uint64_t random_walk_rounds(const graph::Graph& g,
+std::uint64_t random_walk_rounds(const graph::Topology& g,
                                  const graph::Placement& placement,
                                  std::uint64_t seed) {
   sim::EngineConfig cfg;

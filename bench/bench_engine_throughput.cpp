@@ -16,6 +16,7 @@
 #include "bench_common.hpp"
 #include "core/run.hpp"
 #include "graph/generators.hpp"
+#include "graph/implicit.hpp"
 #include "graph/placement.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
@@ -52,6 +53,34 @@ void BM_EngineMovementThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(robots));
 }
 BENCHMARK(BM_EngineMovementThroughput)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EngineMovementThroughput_ImplicitSwarm(benchmark::State& state) {
+  // The scale tier: 10^4–10^5 walking robots on an implicit 1000x1000
+  // grid (n = 10^6, O(1) topology memory, sparse node table). The cap
+  // is small — the tier measures swarm movement throughput per round,
+  // not convergence — and the per-iteration work still dwarfs the
+  // engine's setup cost.
+  const auto robots = static_cast<std::size_t>(state.range(0));
+  const graph::ImplicitGraph g = graph::ImplicitGraph::grid(1000, 1000);
+  constexpr sim::Round kRounds = 64;
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.hard_cap = kRounds;
+    sim::Engine engine(g, cfg);
+    for (std::size_t i = 0; i < robots; ++i) {
+      engine.add_robot(std::make_unique<Ping>(static_cast<sim::RobotId>(i + 1)),
+                       static_cast<graph::NodeId>(i % g.num_nodes()));
+    }
+    const auto result = engine.run();
+    benchmark::DoNotOptimize(result.metrics.total_moves);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRounds) *
+                          static_cast<std::int64_t>(robots));
+}
+BENCHMARK(BM_EngineMovementThroughput_ImplicitSwarm)
+    ->Arg(10'000)
+    ->Arg(100'000);
 
 void BM_EngineMovementThroughput_TraceAB(benchmark::State& state) {
   // Interleaved A/B guard for the trace recorder's hot-path contract:

@@ -10,7 +10,7 @@
 
 namespace gather::core {
 
-AlgorithmConfig make_config(const graph::Graph& g, uxs::SequencePtr sequence) {
+AlgorithmConfig make_config(const graph::Topology& g, uxs::SequencePtr sequence) {
   AlgorithmConfig config;
   config.n = g.num_nodes();
   config.sequence = std::move(sequence);
@@ -26,7 +26,7 @@ std::string to_string(AlgorithmKind kind) {
   return "?";
 }
 
-RunOutcome run_gathering(const graph::Graph& g,
+RunOutcome run_gathering(const graph::Topology& g,
                          const graph::Placement& placement,
                          const RunSpec& spec) {
   GATHER_EXPECTS(!placement.empty());
@@ -75,6 +75,9 @@ RunOutcome run_gathering(const graph::Graph& g,
   engine_config.record_trace = spec.record_trace;
   engine_config.trace_recorder = spec.trace_recorder;
   engine_config.scheduler = spec.scheduler;
+  engine_config.decide_threads = spec.decide_threads;
+  engine_config.decide_min_active = spec.decide_min_active;
+  engine_config.dense_node_limit = spec.dense_node_limit;
   sim::Engine engine(g, engine_config);
 
   std::vector<const FasterGatheringRobot*> faster_robots;

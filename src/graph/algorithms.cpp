@@ -1,11 +1,13 @@
 #include "graph/algorithms.hpp"
 
+#include "graph/implicit.hpp"
+
 #include <algorithm>
 #include <queue>
 
 namespace gather::graph {
 
-std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+std::vector<std::uint32_t> bfs_distances(const Topology& g, NodeId source) {
   GATHER_EXPECTS(source < g.num_nodes());
   std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
   std::queue<NodeId> frontier;
@@ -14,7 +16,9 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
   while (!frontier.empty()) {
     const NodeId v = frontier.front();
     frontier.pop();
-    for (const HalfEdge& h : g.neighbors(v)) {
+    const std::uint32_t deg = g.degree(v);
+    for (Port p = 0; p < deg; ++p) {
+      const HalfEdge h = g.traverse(v, p);
       if (dist[h.to] == kUnreachable) {
         dist[h.to] = dist[v] + 1;
         frontier.push(h.to);
@@ -24,20 +28,20 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
   return dist;
 }
 
-bool is_connected(const Graph& g) {
+bool is_connected(const Topology& g) {
   const auto dist = bfs_distances(g, 0);
   return std::none_of(dist.begin(), dist.end(),
                       [](std::uint32_t d) { return d == kUnreachable; });
 }
 
-std::vector<std::vector<std::uint32_t>> all_pairs_distances(const Graph& g) {
+std::vector<std::vector<std::uint32_t>> all_pairs_distances(const Topology& g) {
   std::vector<std::vector<std::uint32_t>> dist;
   dist.reserve(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) dist.push_back(bfs_distances(g, v));
   return dist;
 }
 
-std::uint32_t diameter(const Graph& g) {
+std::uint32_t diameter(const Topology& g) {
   GATHER_EXPECTS(is_connected(g));
   std::uint32_t best = 0;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -47,10 +51,20 @@ std::uint32_t diameter(const Graph& g) {
   return best;
 }
 
-std::uint32_t min_pairwise_distance(const Graph& g,
+std::uint32_t min_pairwise_distance(const Topology& g,
                                     const std::vector<NodeId>& nodes) {
   GATHER_EXPECTS(nodes.size() >= 2);
   std::uint32_t best = kUnreachable;
+  if (const ImplicitGraph* imp = g.as_implicit()) {
+    // Closed-form pair distances: O(k^2) regardless of n.
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        best = std::min(best, imp->distance(nodes[i], nodes[j]));
+      }
+      if (best == 0) return 0;
+    }
+    return best;
+  }
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const auto dist = bfs_distances(g, nodes[i]);
     for (std::size_t j = i + 1; j < nodes.size(); ++j) {
@@ -61,7 +75,7 @@ std::uint32_t min_pairwise_distance(const Graph& g,
   return best;
 }
 
-std::vector<NodeId> ball(const Graph& g, NodeId center, std::uint32_t radius) {
+std::vector<NodeId> ball(const Topology& g, NodeId center, std::uint32_t radius) {
   const auto dist = bfs_distances(g, center);
   std::vector<NodeId> result;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {

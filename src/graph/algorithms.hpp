@@ -14,25 +14,30 @@ namespace gather::graph {
 /// Sentinel distance for "unreachable".
 inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
 
-[[nodiscard]] bool is_connected(const Graph& g);
+[[nodiscard]] bool is_connected(const Topology& g);
 
-/// BFS hop distances from `source` to every node.
-[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+/// BFS hop distances from `source` to every node. Visits neighbors in
+/// port order, so the result is representation-independent.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Topology& g,
+                                                       NodeId source);
 
 /// All-pairs hop distances (n BFS runs); n is small in experiments.
-[[nodiscard]] std::vector<std::vector<std::uint32_t>> all_pairs_distances(const Graph& g);
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> all_pairs_distances(
+    const Topology& g);
 
 /// Graph diameter (max eccentricity). Requires connected g.
-[[nodiscard]] std::uint32_t diameter(const Graph& g);
+[[nodiscard]] std::uint32_t diameter(const Topology& g);
 
 /// The minimum pairwise hop distance among the robots' start nodes —
 /// the quantity Lemma 15 bounds. `nodes` may contain duplicates (distance
-/// 0). Requires nodes.size() >= 2.
-[[nodiscard]] std::uint32_t min_pairwise_distance(const Graph& g,
+/// 0). Requires nodes.size() >= 2. Implicit families use their O(1)
+/// closed-form distance (provably equal to BFS hops) instead of k BFS
+/// sweeps, keeping resolution O(k^2) at any n.
+[[nodiscard]] std::uint32_t min_pairwise_distance(const Topology& g,
                                                   const std::vector<NodeId>& nodes);
 
 /// Nodes within hop distance `radius` of `center` (including center).
-[[nodiscard]] std::vector<NodeId> ball(const Graph& g, NodeId center,
+[[nodiscard]] std::vector<NodeId> ball(const Topology& g, NodeId center,
                                        std::uint32_t radius);
 
 }  // namespace gather::graph

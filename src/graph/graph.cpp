@@ -2,10 +2,43 @@
 
 #include <algorithm>
 #include <limits>
+#include <type_traits>
 
 namespace gather::graph {
 
-GraphBuilder::GraphBuilder(std::size_t num_nodes) : adjacency_(num_nodes) {
+// ---- 32-bit index audit -------------------------------------------------
+// The CSR arrays, the engine's slot/node arithmetic, and the trace
+// format all assume 32-bit node ids and ports: offsets_ entries index
+// half_edges_ with uint32, kNoPort/kNoSlot are uint32(-1) sentinels, and
+// the engine packs (from, to) node pairs into one uint64 hash word.
+// Anything that could push num_nodes or the half-edge count to 2^32
+// must fail loudly (EngineInvariantError) instead of wrapping.
+static_assert(sizeof(NodeId) == 4 && sizeof(Port) == 4,
+              "NodeId/Port must stay 32-bit: CSR offsets, sentinel values, "
+              "and the engine's packed (from<<32)|to hash words depend on it");
+static_assert(std::is_unsigned_v<NodeId> && std::is_unsigned_v<Port>,
+              "sentinels are formed as unsigned -1 wraparound");
+static_assert(kNoPort == 0xFFFFFFFFu,
+              "kNoPort must be the all-ones uint32 sentinel");
+
+namespace {
+
+// The guard must run BEFORE the adjacency allocation: an unchecked
+// 2^32-node request would try to allocate ~100 GiB of empty edge lists
+// before any constructor body executes.
+std::size_t checked_node_count(std::size_t num_nodes) {
+  if (num_nodes > std::numeric_limits<NodeId>::max()) {
+    throw EngineInvariantError(
+        "graph: num_nodes must fit NodeId (32-bit) — use an implicit family "
+        "beyond that, and note ids 0..2^32-2 (the top value is a sentinel)");
+  }
+  return num_nodes;
+}
+
+}  // namespace
+
+GraphBuilder::GraphBuilder(std::size_t num_nodes)
+    : adjacency_(checked_node_count(num_nodes)) {
   GATHER_EXPECTS(num_nodes >= 1);
 }
 
@@ -41,8 +74,14 @@ Graph Graph::from_adjacency(std::vector<std::vector<HalfEdge>> adjacency) {
   std::size_t degree_sum = 0;
   for (const auto& adj : adjacency) degree_sum += adj.size();
   GATHER_EXPECTS(degree_sum % 2 == 0);
-  GATHER_EXPECTS(degree_sum <=
-                 std::numeric_limits<std::uint32_t>::max());
+  if (adjacency.size() > std::numeric_limits<NodeId>::max() ||
+      degree_sum > std::numeric_limits<std::uint32_t>::max()) {
+    // n * avg-degree near 2^32 would wrap the uint32 CSR offsets.
+    throw EngineInvariantError(
+        "graph: half-edge count (sum of degrees) must fit the 32-bit CSR "
+        "offset array; materializing this graph would wrap — use an "
+        "implicit family instead");
+  }
 
   // Compact into CSR: prefix-sum offsets, then one contiguous copy per
   // node's port-ordered edge list.

@@ -44,36 +44,94 @@ struct HalfEdge {
   friend bool operator==(const HalfEdge&, const HalfEdge&) = default;
 };
 
+class Graph;
+class ImplicitGraph;
+
+/// Abstract port-labeled topology — the engine's and the oracle layers'
+/// view of a graph. Two implementations exist: the materialized CSR
+/// `Graph` (O(n+m) memory, any structure) and `ImplicitGraph`
+/// (graph/implicit.hpp: grid/torus/hypercube neighborhoods computed from
+/// coordinates in O(1) memory). Both expose IDENTICAL port numberings
+/// for the families they share, so a run is bit-for-bit independent of
+/// which representation backs it (pinned by tests/implicit_graph_test.cpp).
+///
+/// Contract for implementations: num_nodes() < 2^32 (NodeId and its
+/// sentinels are 32-bit), degree/traverse are pure (no allocation, no
+/// mutable state), and traverse obeys port symmetry. Hot loops never
+/// call through this interface — the engine resolves the concrete type
+/// once at construction (as_csr()/as_implicit()) and dispatches with
+/// two predictable branches instead of a virtual call per traversal.
+class Topology {
+ public:
+  Topology() = default;
+  Topology(const Topology&) = default;
+  Topology(Topology&&) = default;
+  Topology& operator=(const Topology&) = default;
+  Topology& operator=(Topology&&) = default;
+  virtual ~Topology() = default;
+
+  [[nodiscard]] virtual std::size_t num_nodes() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t num_edges() const noexcept = 0;
+  [[nodiscard]] virtual std::uint32_t degree(NodeId v) const = 0;
+  /// The maximum degree Δ.
+  [[nodiscard]] virtual std::uint32_t max_degree() const noexcept = 0;
+  /// Cross the edge at (v, port): returns the far node and its entry port.
+  [[nodiscard]] virtual HalfEdge traverse(NodeId v, Port port) const = 0;
+  /// Resident bytes of this representation (what the graph cache charges
+  /// against its budget): the CSR arrays for Graph, ~0 for descriptors.
+  [[nodiscard]] virtual std::size_t memory_bytes() const noexcept = 0;
+
+  /// Concrete-type recovery for callers with representation-specific
+  /// fast paths (engine) or requirements (DOT export needs CSR spans).
+  [[nodiscard]] virtual const Graph* as_csr() const noexcept { return nullptr; }
+  [[nodiscard]] virtual const ImplicitGraph* as_implicit() const noexcept {
+    return nullptr;
+  }
+};
+
 /// Immutable port-labeled graph in CSR form. Build with GraphBuilder.
 ///
 /// `half_edges_[offsets_[v] + p]` is node v's half-edge at port p; ports
 /// are contiguous, so `degree(v) == offsets_[v+1] - offsets_[v]`.
-class Graph {
+/// `final` so references typed `const Graph&` keep devirtualized, inline
+/// traversal on the hot path.
+class Graph final : public Topology {
  public:
   /// Default state is the empty graph (0 nodes) until assigned.
   Graph() : offsets_(1, 0) {}
 
-  [[nodiscard]] std::size_t num_nodes() const noexcept {
+  [[nodiscard]] std::size_t num_nodes() const noexcept override {
     return offsets_.size() - 1;
   }
-  [[nodiscard]] std::size_t num_edges() const noexcept {
+  [[nodiscard]] std::size_t num_edges() const noexcept override {
     return half_edges_.size() / 2;
   }
 
-  [[nodiscard]] std::uint32_t degree(NodeId v) const {
+  [[nodiscard]] std::uint32_t degree(NodeId v) const override {
     GATHER_EXPECTS(v < num_nodes());
     return offsets_[v + 1] - offsets_[v];
   }
 
   /// The maximum degree Δ.
-  [[nodiscard]] std::uint32_t max_degree() const noexcept { return max_degree_; }
+  [[nodiscard]] std::uint32_t max_degree() const noexcept override {
+    return max_degree_;
+  }
 
   /// Cross the edge at (v, port): returns the far node and its entry port.
-  [[nodiscard]] HalfEdge traverse(NodeId v, Port port) const {
+  [[nodiscard]] HalfEdge traverse(NodeId v, Port port) const override {
     GATHER_EXPECTS(v < num_nodes());
     GATHER_EXPECTS(port < offsets_[v + 1] - offsets_[v]);
     return half_edges_[offsets_[v] + port];
   }
+
+  /// Exact CSR footprint: the offset array plus both half-edge records
+  /// per edge (what the graph cache charges for a materialized family).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    return offsets_.size() * sizeof(std::uint32_t) +
+           half_edges_.size() * sizeof(HalfEdge);
+  }
+
+  [[nodiscard]] const Graph* as_csr() const noexcept override { return this; }
 
   /// traverse() without the contract checks, for hot loops whose caller
   /// has already validated (v, port) — e.g. the engine, which checks the

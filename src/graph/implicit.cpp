@@ -1,0 +1,228 @@
+#include "graph/implicit.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gather::graph {
+
+namespace {
+
+// Direction codes shared by the grid/torus closed forms.
+enum Dir : std::uint8_t { kNorth = 0, kWest = 1, kEast = 2, kSouth = 3 };
+
+constexpr Dir opposite(Dir d) noexcept {
+  switch (d) {
+    case kNorth:
+      return kSouth;
+    case kSouth:
+      return kNorth;
+    case kWest:
+      return kEast;
+    case kEast:
+    default:
+      return kWest;
+  }
+}
+
+// make_torus creates the wrapped East/South edges of each row-major
+// cell in order, so the insertion rank of a node's four edges depends
+// only on whether it sits in row 0 and/or column 0 (wraparound edges
+// into those lines are created last). Indexed [r == 0][c == 0].
+constexpr Dir kTorusOrder[2][2][4] = {
+    {{kNorth, kWest, kEast, kSouth}, {kNorth, kEast, kSouth, kWest}},
+    {{kWest, kEast, kSouth, kNorth}, {kEast, kSouth, kWest, kNorth}},
+};
+
+constexpr std::uint32_t torus_port(std::uint64_t r, std::uint64_t c, Dir d) {
+  const Dir* order = kTorusOrder[r == 0][c == 0];
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    if (order[p] == d) return p;
+  }
+  GATHER_INVARIANT(false && "direction not in torus order table");
+  return 0;
+}
+
+// Grid direction order at (r, c): [N, W, E, S] restricted to existing
+// directions (North edges come from the previous row's South inserts,
+// West from the previous column's East insert, then own East, own South).
+constexpr bool grid_has(std::uint64_t r, std::uint64_t c, std::uint64_t rows,
+                        std::uint64_t cols, Dir d) {
+  switch (d) {
+    case kNorth:
+      return r > 0;
+    case kWest:
+      return c > 0;
+    case kEast:
+      return c + 1 < cols;
+    case kSouth:
+    default:
+      return r + 1 < rows;
+  }
+}
+
+constexpr std::uint32_t grid_port(std::uint64_t r, std::uint64_t c,
+                                  std::uint64_t rows, std::uint64_t cols,
+                                  Dir d) {
+  std::uint32_t p = 0;
+  for (std::uint8_t q = 0; q < static_cast<std::uint8_t>(d); ++q) {
+    p += grid_has(r, c, rows, cols, static_cast<Dir>(q)) ? 1u : 0u;
+  }
+  GATHER_INVARIANT(grid_has(r, c, rows, cols, d));
+  return p;
+}
+
+// Hypercube port of the edge flipping bit b at node v: edges to lower
+// neighbors (set bits, descending) precede edges to higher neighbors
+// (clear bits, ascending) — the insertion order of make_hypercube.
+constexpr std::uint32_t hypercube_port(std::uint32_t v, unsigned b) {
+  const std::uint32_t above = v >> (b + 1);
+  const std::uint32_t below = v & ((1u << b) - 1u);
+  if ((v >> b) & 1u) {
+    return static_cast<std::uint32_t>(std::popcount(above));
+  }
+  return static_cast<std::uint32_t>(std::popcount(v)) + b -
+         static_cast<std::uint32_t>(std::popcount(below));
+}
+
+}  // namespace
+
+ImplicitGraph::ImplicitGraph(Family family, std::uint64_t rows,
+                             std::uint64_t cols, unsigned dim)
+    : family_(family), rows_(rows), cols_(cols), dim_(dim) {
+  switch (family_) {
+    case Family::Grid: {
+      num_nodes_ = static_cast<std::size_t>(rows_ * cols_);
+      num_edges_ = static_cast<std::size_t>(rows_ * (cols_ - 1) +
+                                            cols_ * (rows_ - 1));
+      max_degree_ =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(2, rows_ - 1) +
+                                     std::min<std::uint64_t>(2, cols_ - 1));
+      break;
+    }
+    case Family::Torus:
+      num_nodes_ = static_cast<std::size_t>(rows_ * cols_);
+      num_edges_ = static_cast<std::size_t>(2 * rows_ * cols_);
+      max_degree_ = 4;
+      break;
+    case Family::Hypercube:
+      num_nodes_ = std::size_t{1} << dim_;
+      num_edges_ = (std::size_t{1} << (dim_ - 1)) * dim_;
+      max_degree_ = dim_;
+      break;
+  }
+}
+
+ImplicitGraph ImplicitGraph::grid(std::uint64_t rows, std::uint64_t cols) {
+  GATHER_EXPECTS(rows >= 1 && cols >= 1);
+  // NodeId and its kNoPort/kNoSlot sentinels are 32-bit: n must stay
+  // strictly below 2^32 (see the index audit in graph.cpp/engine.cpp).
+  if (rows > std::numeric_limits<std::uint32_t>::max() / cols) {
+    throw EngineInvariantError(
+        "implicit grid: rows * cols must fit NodeId (32-bit)");
+  }
+  return {Family::Grid, rows, cols, 0};
+}
+
+ImplicitGraph ImplicitGraph::torus(std::uint64_t rows, std::uint64_t cols) {
+  GATHER_EXPECTS(rows >= 3 && cols >= 3);
+  if (rows > std::numeric_limits<std::uint32_t>::max() / cols) {
+    throw EngineInvariantError(
+        "implicit torus: rows * cols must fit NodeId (32-bit)");
+  }
+  return {Family::Torus, rows, cols, 0};
+}
+
+ImplicitGraph ImplicitGraph::hypercube(unsigned dim) {
+  GATHER_EXPECTS(dim >= 1);
+  if (dim > 31) {
+    throw EngineInvariantError(
+        "implicit hypercube: dim must be <= 31 (2^32 nodes overflows NodeId)");
+  }
+  return {Family::Hypercube, 1, 1, dim};
+}
+
+HalfEdge ImplicitGraph::traverse_unchecked(NodeId v, Port port) const noexcept {
+  switch (family_) {
+    case Family::Grid: {
+      const std::uint64_t r = v / cols_;
+      const std::uint64_t c = v % cols_;
+      std::uint32_t p = port;
+      for (std::uint8_t q = 0; q < 4; ++q) {
+        const Dir d = static_cast<Dir>(q);
+        if (!grid_has(r, c, rows_, cols_, d)) continue;
+        if (p-- != 0) continue;
+        const std::uint64_t nr = d == kNorth ? r - 1 : d == kSouth ? r + 1 : r;
+        const std::uint64_t nc = d == kWest ? c - 1 : d == kEast ? c + 1 : c;
+        return {static_cast<NodeId>(nr * cols_ + nc),
+                grid_port(nr, nc, rows_, cols_, opposite(d))};
+      }
+      return {};  // unreachable for port < degree
+    }
+    case Family::Torus: {
+      const std::uint64_t r = v / cols_;
+      const std::uint64_t c = v % cols_;
+      const Dir d = kTorusOrder[r == 0][c == 0][port];
+      const std::uint64_t nr = d == kNorth ? (r + rows_ - 1) % rows_
+                               : d == kSouth ? (r + 1) % rows_
+                                             : r;
+      const std::uint64_t nc = d == kWest ? (c + cols_ - 1) % cols_
+                               : d == kEast ? (c + 1) % cols_
+                                            : c;
+      return {static_cast<NodeId>(nr * cols_ + nc),
+              torus_port(nr, nc, opposite(d))};
+    }
+    case Family::Hypercube:
+    default: {
+      const std::uint32_t set = static_cast<std::uint32_t>(std::popcount(v));
+      unsigned b = 0;
+      if (port < set) {
+        // (port+1)-th highest set bit: the set bit with `port` set bits
+        // above it.
+        for (b = dim_; b-- > 0;) {
+          if (((v >> b) & 1u) != 0u && hypercube_port(v, b) == port) break;
+        }
+      } else {
+        // (port - set + 1)-th clear bit from the bottom.
+        std::uint32_t want = port - set;
+        for (b = 0; b < dim_; ++b) {
+          if (((v >> b) & 1u) == 0u) {
+            if (want == 0) break;
+            --want;
+          }
+        }
+      }
+      const NodeId u = v ^ (NodeId{1} << b);
+      return {u, hypercube_port(u, b)};
+    }
+  }
+}
+
+std::uint32_t ImplicitGraph::distance(NodeId u, NodeId v) const {
+  GATHER_EXPECTS(u < num_nodes_ && v < num_nodes_);
+  switch (family_) {
+    case Family::Grid: {
+      const std::uint64_t ur = u / cols_;
+      const std::uint64_t uc = u % cols_;
+      const std::uint64_t vr = v / cols_;
+      const std::uint64_t vc = v % cols_;
+      const std::uint64_t dr = ur > vr ? ur - vr : vr - ur;
+      const std::uint64_t dc = uc > vc ? uc - vc : vc - uc;
+      return static_cast<std::uint32_t>(dr + dc);
+    }
+    case Family::Torus: {
+      const std::uint64_t ur = u / cols_;
+      const std::uint64_t uc = u % cols_;
+      const std::uint64_t vr = v / cols_;
+      const std::uint64_t vc = v % cols_;
+      const std::uint64_t dr = ur > vr ? ur - vr : vr - ur;
+      const std::uint64_t dc = uc > vc ? uc - vc : vc - uc;
+      return static_cast<std::uint32_t>(std::min(dr, rows_ - dr) +
+                                        std::min(dc, cols_ - dc));
+    }
+    case Family::Hypercube:
+    default:
+      return static_cast<std::uint32_t>(std::popcount(u ^ v));
+  }
+}
+
+}  // namespace gather::graph

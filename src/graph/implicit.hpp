@@ -1,0 +1,123 @@
+// Allocation-free closed-form topologies: grid, torus, hypercube.
+//
+// An ImplicitGraph stores only its family descriptor (a few integers);
+// degree() and traverse() are computed from node coordinates, so an
+// n = 10^6 (or 10^9) instance costs the same handful of bytes as n = 9.
+// This is what lets the engine and the scenario layer scale the instance
+// axis past what CSR materialization can hold.
+//
+// PORT-NUMBERING CONTRACT: for every (v, port), traverse(v, port) must
+// equal the materialized generator's result — make_grid/make_torus/
+// make_hypercube assign ports by edge-insertion order, and the closed
+// forms below reproduce that order exactly:
+//
+//  - make_grid(rows, cols) visits cells row-major and adds East then
+//    South per cell, so node (r, c) numbers its existing directions in
+//    the fixed order [North, West, East, South].
+//  - make_torus(rows, cols) (sides >= 3) adds wrapped East then South
+//    per row-major cell; the wraparound edges of row 0 / column 0 are
+//    created late, which permutes the direction order per boundary case
+//    (see kTorusOrder).
+//  - make_hypercube(dim) iterates v ascending, bit d ascending, adding
+//    the edge at its lower endpoint; node v therefore numbers edges to
+//    lower neighbors first (its set bits in DESCENDING order), then to
+//    higher neighbors (clear bits ascending).
+//
+// The equivalence is pinned exhaustively for small instances by
+// tests/implicit_graph_test.cpp; any change here or in generators.cpp
+// must keep the two bit-identical.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "support/assert.hpp"
+
+namespace gather::graph {
+
+/// Closed-form topology descriptor. Construct via the static factories;
+/// all methods are pure and allocation-free.
+class ImplicitGraph final : public Topology {
+ public:
+  enum class Family : std::uint8_t { Grid, Torus, Hypercube };
+
+  /// rows x cols grid, port-identical to make_grid(rows, cols).
+  /// Requires rows, cols >= 1 and rows * cols < 2^32.
+  [[nodiscard]] static ImplicitGraph grid(std::uint64_t rows,
+                                          std::uint64_t cols);
+  /// rows x cols torus, port-identical to make_torus(rows, cols).
+  /// Requires rows, cols >= 3 and rows * cols < 2^32.
+  [[nodiscard]] static ImplicitGraph torus(std::uint64_t rows,
+                                           std::uint64_t cols);
+  /// dim-dimensional hypercube, port-identical to make_hypercube(dim).
+  /// Requires 1 <= dim <= 31 (2^32 nodes would overflow NodeId).
+  [[nodiscard]] static ImplicitGraph hypercube(unsigned dim);
+
+  [[nodiscard]] Family family() const noexcept { return family_; }
+  [[nodiscard]] std::uint64_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::uint64_t cols() const noexcept { return cols_; }
+  [[nodiscard]] unsigned dim() const noexcept { return dim_; }
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept override {
+    return num_nodes_;
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept override {
+    return num_edges_;
+  }
+  [[nodiscard]] std::uint32_t max_degree() const noexcept override {
+    return max_degree_;
+  }
+  /// A descriptor occupies no per-node storage (the cache charges 0).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override { return 0; }
+  [[nodiscard]] const ImplicitGraph* as_implicit() const noexcept override {
+    return this;
+  }
+
+  [[nodiscard]] std::uint32_t degree(NodeId v) const override {
+    GATHER_EXPECTS(v < num_nodes_);
+    return degree_unchecked(v);
+  }
+  [[nodiscard]] HalfEdge traverse(NodeId v, Port port) const override {
+    GATHER_EXPECTS(v < num_nodes_);
+    GATHER_EXPECTS(port < degree_unchecked(v));
+    return traverse_unchecked(v, port);
+  }
+
+  /// Contract-check-free fast paths for the engine's validated hot loop
+  /// (mirrors Graph::traverse_unchecked).
+  [[nodiscard]] std::uint32_t degree_unchecked(NodeId v) const noexcept {
+    switch (family_) {
+      case Family::Grid: {
+        const std::uint64_t r = v / cols_;
+        const std::uint64_t c = v % cols_;
+        return static_cast<std::uint32_t>((r > 0) + (c > 0) +
+                                          (c + 1 < cols_) + (r + 1 < rows_));
+      }
+      case Family::Torus:
+        return 4;
+      case Family::Hypercube:
+      default:
+        return dim_;
+    }
+  }
+  [[nodiscard]] HalfEdge traverse_unchecked(NodeId v, Port port) const noexcept;
+
+  /// Exact hop distance between two nodes (closed form; equals BFS on
+  /// the materialized twin): Manhattan / wrapped-Manhattan / Hamming.
+  [[nodiscard]] std::uint32_t distance(NodeId u, NodeId v) const;
+
+ private:
+  ImplicitGraph(Family family, std::uint64_t rows, std::uint64_t cols,
+                unsigned dim);
+
+  Family family_ = Family::Grid;
+  std::uint64_t rows_ = 1;
+  std::uint64_t cols_ = 1;
+  unsigned dim_ = 0;
+  std::size_t num_nodes_ = 1;
+  std::size_t num_edges_ = 0;
+  std::uint32_t max_degree_ = 0;
+};
+
+}  // namespace gather::graph

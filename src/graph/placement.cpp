@@ -25,7 +25,7 @@ std::vector<NodeId> start_nodes(const Placement& placement) {
   return nodes;
 }
 
-std::vector<NodeId> nodes_all_on_one(const Graph& g, std::size_t k,
+std::vector<NodeId> nodes_all_on_one(const Topology& g, std::size_t k,
                                      std::uint64_t seed) {
   GATHER_EXPECTS(k >= 1);
   Xoshiro256 rng(seed);
@@ -33,7 +33,7 @@ std::vector<NodeId> nodes_all_on_one(const Graph& g, std::size_t k,
   return std::vector<NodeId>(k, node);
 }
 
-std::vector<NodeId> nodes_undispersed_random(const Graph& g, std::size_t k,
+std::vector<NodeId> nodes_undispersed_random(const Topology& g, std::size_t k,
                                              std::uint64_t seed) {
   GATHER_EXPECTS(k >= 2);
   Xoshiro256 rng(seed);
@@ -47,7 +47,7 @@ std::vector<NodeId> nodes_undispersed_random(const Graph& g, std::size_t k,
   return nodes;
 }
 
-std::vector<NodeId> nodes_dispersed_random(const Graph& g, std::size_t k,
+std::vector<NodeId> nodes_dispersed_random(const Topology& g, std::size_t k,
                                            std::uint64_t seed) {
   GATHER_EXPECTS(k <= g.num_nodes());
   Xoshiro256 rng(seed);
@@ -58,7 +58,7 @@ std::vector<NodeId> nodes_dispersed_random(const Graph& g, std::size_t k,
   return all;
 }
 
-std::vector<NodeId> nodes_adversarial_spread(const Graph& g, std::size_t k,
+std::vector<NodeId> nodes_adversarial_spread(const Topology& g, std::size_t k,
                                              std::uint64_t seed) {
   GATHER_EXPECTS(k >= 1 && k <= g.num_nodes());
   Xoshiro256 rng(seed);
@@ -84,7 +84,7 @@ std::vector<NodeId> nodes_adversarial_spread(const Graph& g, std::size_t k,
   return chosen;
 }
 
-std::vector<NodeId> nodes_pair_at_distance(const Graph& g, std::size_t k,
+std::vector<NodeId> nodes_pair_at_distance(const Topology& g, std::size_t k,
                                            std::uint32_t distance,
                                            std::uint64_t seed) {
   GATHER_EXPECTS(k >= 2 && k <= g.num_nodes());
@@ -128,7 +128,7 @@ std::vector<NodeId> nodes_pair_at_distance(const Graph& g, std::size_t k,
   return chosen;
 }
 
-std::vector<NodeId> nodes_clustered(const Graph& g, std::size_t k,
+std::vector<NodeId> nodes_clustered(const Topology& g, std::size_t k,
                                     std::size_t clusters, std::uint64_t seed) {
   GATHER_EXPECTS(clusters >= 1 && clusters <= k);
   GATHER_EXPECTS(clusters <= g.num_nodes());

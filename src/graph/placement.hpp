@@ -34,17 +34,17 @@ using Placement = std::vector<RobotStart>;
 // ---- node selection strategies -----------------------------------------
 
 /// All k robots on one uniformly chosen node.
-[[nodiscard]] std::vector<NodeId> nodes_all_on_one(const Graph& g, std::size_t k,
+[[nodiscard]] std::vector<NodeId> nodes_all_on_one(const Topology& g, std::size_t k,
                                                    std::uint64_t seed);
 
 /// Random undispersed: one random node gets two robots, the rest land on
 /// uniformly random nodes (k >= 2).
-[[nodiscard]] std::vector<NodeId> nodes_undispersed_random(const Graph& g,
+[[nodiscard]] std::vector<NodeId> nodes_undispersed_random(const Topology& g,
                                                            std::size_t k,
                                                            std::uint64_t seed);
 
 /// Random dispersed: k distinct nodes chosen uniformly (k <= n).
-[[nodiscard]] std::vector<NodeId> nodes_dispersed_random(const Graph& g,
+[[nodiscard]] std::vector<NodeId> nodes_dispersed_random(const Topology& g,
                                                          std::size_t k,
                                                          std::uint64_t seed);
 
@@ -53,21 +53,21 @@ using Placement = std::vector<RobotStart>;
 /// standard k-center greedy; deterministic given the seed of the first
 /// pick). k <= n. This is the placement the paper's "robots are placed by
 /// an adversary" analysis has in mind.
-[[nodiscard]] std::vector<NodeId> nodes_adversarial_spread(const Graph& g,
+[[nodiscard]] std::vector<NodeId> nodes_adversarial_spread(const Topology& g,
                                                            std::size_t k,
                                                            std::uint64_t seed);
 
 /// Dispersed with a planted close pair: two robots at hop distance exactly
 /// `distance` from each other (requires such a pair to exist), remaining
 /// robots placed greedily far from everything. k <= n.
-[[nodiscard]] std::vector<NodeId> nodes_pair_at_distance(const Graph& g,
+[[nodiscard]] std::vector<NodeId> nodes_pair_at_distance(const Topology& g,
                                                          std::size_t k,
                                                          std::uint32_t distance,
                                                          std::uint64_t seed);
 
 /// Clustered: robots split into `clusters` co-located groups placed by
 /// adversarial spread (undispersed when k > clusters).
-[[nodiscard]] std::vector<NodeId> nodes_clustered(const Graph& g, std::size_t k,
+[[nodiscard]] std::vector<NodeId> nodes_clustered(const Topology& g, std::size_t k,
                                                   std::size_t clusters,
                                                   std::uint64_t seed);
 

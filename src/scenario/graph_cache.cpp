@@ -3,14 +3,6 @@
 #include <utility>
 
 namespace gather::scenario {
-namespace {
-
-std::uint64_t csr_bytes(const graph::Graph& g) {
-  return static_cast<std::uint64_t>(g.offsets().size()) * sizeof(std::uint32_t) +
-         static_cast<std::uint64_t>(2 * g.num_edges()) * sizeof(graph::HalfEdge);
-}
-
-}  // namespace
 
 GraphCache::GraphCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
@@ -34,12 +26,13 @@ std::string GraphCache::key_of(const std::string& family, const Params& params,
   return key;
 }
 
-std::shared_ptr<const graph::Graph> GraphCache::get_or_build(
+std::shared_ptr<const graph::Topology> GraphCache::get_or_build(
     const std::string& family, const Params& params, std::size_t n,
-    std::uint64_t graph_seed, const std::function<graph::Graph()>& build) {
+    std::uint64_t graph_seed,
+    const std::function<std::shared_ptr<const graph::Topology>()>& build) {
   const std::string key = key_of(family, params, n, graph_seed);
-  std::promise<std::shared_ptr<const graph::Graph>> promise;
-  std::shared_future<std::shared_ptr<const graph::Graph>> future;
+  std::promise<std::shared_ptr<const graph::Topology>> promise;
+  std::shared_future<std::shared_ptr<const graph::Topology>> future;
   bool is_builder = false;
   std::uint64_t epoch_at_insert = 0;
   {
@@ -66,7 +59,7 @@ std::shared_ptr<const graph::Graph> GraphCache::get_or_build(
     return future.get();
   }
   try {
-    auto built = std::make_shared<const graph::Graph>(build());
+    std::shared_ptr<const graph::Topology> built = build();
     promise.set_value(built);
     const std::lock_guard<std::mutex> lock(mutex_);
     // clear() may have raced the build (epoch bump): the entry we
@@ -75,7 +68,9 @@ std::shared_ptr<const graph::Graph> GraphCache::get_or_build(
     const auto it = entries_.find(key);
     if (it != entries_.end() && epoch_ == epoch_at_insert) {
       it->second.ready = true;
-      it->second.bytes = csr_bytes(*built);
+      // Representation-honest accounting: the CSR arrays for
+      // materialized families, ~0 for implicit descriptors.
+      it->second.bytes = built->memory_bytes();
       std::size_t ready_count = 0;
       for (const auto& [k, e] : entries_) ready_count += e.ready ? 1 : 0;
       while (ready_count > capacity_) {

@@ -35,8 +35,10 @@
 namespace gather::scenario {
 
 /// Counters for `gather_cli --cache-stats` and SweepRunner stats.
-/// `resident_bytes` is the CSR payload held by live entries (half-edge
-/// array + offset array), not allocator overhead.
+/// `resident_bytes` is what live entries actually hold — the CSR payload
+/// (half-edge array + offset array) for materialized families, ~0 for
+/// implicit descriptors (Topology::memory_bytes) — not allocator
+/// overhead.
 struct GraphCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -64,10 +66,10 @@ class GraphCache {
   /// builder instead of building again). If `build` throws, every
   /// waiter receives the exception and the key is erased so a later
   /// call can retry.
-  [[nodiscard]] std::shared_ptr<const graph::Graph> get_or_build(
+  [[nodiscard]] std::shared_ptr<const graph::Topology> get_or_build(
       const std::string& family, const Params& params, std::size_t n,
       std::uint64_t graph_seed,
-      const std::function<graph::Graph()>& build);
+      const std::function<std::shared_ptr<const graph::Topology>()>& build);
 
   [[nodiscard]] GraphCacheStats stats() const;
 
@@ -79,7 +81,7 @@ class GraphCache {
 
  private:
   struct Entry {
-    std::shared_future<std::shared_ptr<const graph::Graph>> future;
+    std::shared_future<std::shared_ptr<const graph::Topology>> future;
     std::uint64_t last_use = 0;
     bool ready = false;
     std::uint64_t bytes = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "graph/implicit.hpp"
 #include "graph/io.hpp"
 #include "uxs/coverage.hpp"
 
@@ -15,6 +16,12 @@ void require(bool cond, const std::string& what) {
 }
 
 std::size_t clamp_min(std::size_t v, std::size_t lo) { return std::max(v, lo); }
+
+/// Wrap a materialized CSR build as the shared immutable topology the
+/// registry hands out.
+TopologyPtr csr(graph::Graph g) {
+  return std::make_shared<const graph::Graph>(std::move(g));
+}
 
 // Grid/torus shape: explicit rows/cols params win; otherwise derive a
 // near-square pair from n (see near_square_dims).
@@ -37,22 +44,22 @@ GraphFamilyRegistry make_graph_families() {
   reg.add("ring", "cycle C_n (n >= 3)", no_params,
           [](std::size_t n, const Params&, std::uint64_t) {
             require(n >= 3, "family 'ring' requires n >= 3");
-            return graph::make_ring(n);
+            return csr(graph::make_ring(n));
           });
   reg.add("path", "path P_n — Lemma 15's tight instance", no_params,
           [](std::size_t n, const Params&, std::uint64_t) {
             require(n >= 1, "family 'path' requires n >= 1");
-            return graph::make_path(n);
+            return csr(graph::make_path(n));
           });
   reg.add("complete", "clique K_n", no_params,
           [](std::size_t n, const Params&, std::uint64_t) {
             require(n >= 1, "family 'complete' requires n >= 1");
-            return graph::make_complete(n);
+            return csr(graph::make_complete(n));
           });
   reg.add("star", "center plus n-1 leaves (n >= 2)", no_params,
           [](std::size_t n, const Params&, std::uint64_t) {
             require(n >= 2, "family 'star' requires n >= 2");
-            return graph::make_star(n);
+            return csr(graph::make_star(n));
           });
   reg.add("grid",
           "near-square rows x cols grid; realized n = rows*cols",
@@ -61,7 +68,7 @@ GraphFamilyRegistry make_graph_families() {
           [](std::size_t n, const Params& p, std::uint64_t) {
             require(n >= 1, "family 'grid' requires n >= 1");
             const GridDims d = grid_dims(n, p, 1);
-            return graph::make_grid(d.rows, d.cols);
+            return csr(graph::make_grid(d.rows, d.cols));
           });
   reg.add("torus",
           "near-square rows x cols torus, sides >= 3; realized n = rows*cols",
@@ -69,7 +76,7 @@ GraphFamilyRegistry make_graph_families() {
            {"cols", "explicit column count (0 = derive from n)", "0"}},
           [](std::size_t n, const Params& p, std::uint64_t) {
             const GridDims d = grid_dims(n, p, 3);
-            return graph::make_torus(d.rows, d.cols);
+            return csr(graph::make_torus(d.rows, d.cols));
           });
   reg.add("hypercube",
           "Q_dim with 2^dim nodes; dim = round(log2 n) unless given",
@@ -83,22 +90,22 @@ GraphFamilyRegistry make_graph_families() {
             }
             require(dim >= 1 && dim < 20,
                     "family 'hypercube' wants dimension in [1, 19]");
-            return graph::make_hypercube(static_cast<unsigned>(dim));
+            return csr(graph::make_hypercube(static_cast<unsigned>(dim)));
           });
   reg.add("binary-tree", "complete binary tree on exactly n nodes", no_params,
           [](std::size_t n, const Params&, std::uint64_t) {
             require(n >= 1, "family 'binary-tree' requires n >= 1");
-            return graph::make_complete_binary_tree(n);
+            return csr(graph::make_complete_binary_tree(n));
           });
   reg.add("lollipop", "clique on ceil(n/2) nodes with a pendant path",
           no_params, [](std::size_t n, const Params&, std::uint64_t) {
             require(n >= 3, "family 'lollipop' requires n >= 3");
-            return graph::make_lollipop(n);
+            return csr(graph::make_lollipop(n));
           });
   reg.add("barbell", "two cliques of n/3 joined by a path (n >= 6)", no_params,
           [](std::size_t n, const Params&, std::uint64_t) {
             require(n >= 6, "family 'barbell' requires n >= 6");
-            return graph::make_barbell(n);
+            return csr(graph::make_barbell(n));
           });
   reg.add("caterpillar",
           "spine path with legs; realized n = spine*(1+legs)",
@@ -108,12 +115,12 @@ GraphFamilyRegistry make_graph_families() {
             require(n >= 1, "family 'caterpillar' requires n >= 1");
             const std::size_t spine =
                 clamp_min((n + legs) / (1 + legs), 1);
-            return graph::make_caterpillar(spine, legs);
+            return csr(graph::make_caterpillar(spine, legs));
           });
   reg.add("wheel", "hub joined to an (n-1)-ring (n >= 4)", no_params,
           [](std::size_t n, const Params&, std::uint64_t) {
             require(n >= 4, "family 'wheel' requires n >= 4");
-            return graph::make_wheel(n);
+            return csr(graph::make_wheel(n));
           });
   reg.add("bipartite",
           "complete bipartite K_{a,b}; defaults a = n/2, b = n - a",
@@ -124,12 +131,12 @@ GraphFamilyRegistry make_graph_families() {
             std::size_t b = p.get_uint("b", 0);
             if (a == 0) a = clamp_min(n / 2, 1);
             if (b == 0) b = clamp_min(n > a ? n - a : 1, 1);
-            return graph::make_complete_bipartite(a, b);
+            return csr(graph::make_complete_bipartite(a, b));
           });
   reg.add("tree", "uniform random labeled tree (Prüfer)", no_params,
           [](std::size_t n, const Params&, std::uint64_t seed) {
             require(n >= 1, "family 'tree' requires n >= 1");
-            return graph::make_random_tree(n, seed);
+            return csr(graph::make_random_tree(n, seed));
           });
   reg.add("random",
           "connected G(n, m): random spanning tree plus extra edges",
@@ -142,7 +149,7 @@ GraphFamilyRegistry make_graph_families() {
             require(m + 1 >= n && m <= max_m,
                     "family 'random' wants m in [n-1, n(n-1)/2], got m=" +
                         std::to_string(m));
-            return graph::make_random_connected(n, m, seed);
+            return csr(graph::make_random_connected(n, m, seed));
           });
   reg.add("regular",
           "random connected d-regular graph; bumps n by one if n*d is odd",
@@ -152,8 +159,45 @@ GraphFamilyRegistry make_graph_families() {
             require(d >= 2, "family 'regular' requires d >= 2");
             require(n > d, "family 'regular' requires n > d");
             if ((n * d) % 2 != 0) ++n;  // realized n is reported upstream
-            return graph::make_random_regular(n, static_cast<std::uint32_t>(d),
-                                              seed);
+            return csr(graph::make_random_regular(
+                n, static_cast<std::uint32_t>(d), seed));
+          });
+  reg.add("implicit-grid",
+          "closed-form rows x cols grid: O(1)-memory descriptor, "
+          "port-identical to 'grid' (n may reach 10^9)",
+          {{"rows", "explicit row count (0 = derive from n)", "0"},
+           {"cols", "explicit column count (0 = derive from n)", "0"}},
+          [](std::size_t n, const Params& p, std::uint64_t) -> TopologyPtr {
+            require(n >= 1, "family 'implicit-grid' requires n >= 1");
+            const GridDims d = grid_dims(n, p, 1);
+            return std::make_shared<const graph::ImplicitGraph>(
+                graph::ImplicitGraph::grid(d.rows, d.cols));
+          });
+  reg.add("implicit-torus",
+          "closed-form rows x cols torus (sides >= 3): O(1)-memory "
+          "descriptor, port-identical to 'torus'",
+          {{"rows", "explicit row count (0 = derive from n)", "0"},
+           {"cols", "explicit column count (0 = derive from n)", "0"}},
+          [](std::size_t n, const Params& p, std::uint64_t) -> TopologyPtr {
+            const GridDims d = grid_dims(n, p, 3);
+            return std::make_shared<const graph::ImplicitGraph>(
+                graph::ImplicitGraph::torus(d.rows, d.cols));
+          });
+  reg.add("implicit-hypercube",
+          "closed-form Q_dim: O(1)-memory descriptor, port-identical to "
+          "'hypercube'; dim may reach 31",
+          {{"dim", "explicit dimension (0 = derive from n)", "0"}},
+          [](std::size_t n, const Params& p, std::uint64_t) -> TopologyPtr {
+            std::size_t dim = p.get_uint("dim", 0);
+            if (dim == 0) {
+              require(n >= 2, "family 'implicit-hypercube' requires n >= 2");
+              dim = static_cast<std::size_t>(
+                  std::llround(std::log2(static_cast<double>(n))));
+            }
+            require(dim >= 1 && dim <= 31,
+                    "family 'implicit-hypercube' wants dimension in [1, 31]");
+            return std::make_shared<const graph::ImplicitGraph>(
+                graph::ImplicitGraph::hypercube(static_cast<unsigned>(dim)));
           });
   reg.add("file",
           "edge-list file (see graph/io.hpp); n is taken from the file",
@@ -161,7 +205,7 @@ GraphFamilyRegistry make_graph_families() {
           [](std::size_t, const Params& p, std::uint64_t) {
             const std::string path = p.get("path", "");
             require(!path.empty(), "family 'file' requires params path=<file>");
-            return graph::read_edge_list_file(path);
+            return csr(graph::read_edge_list_file(path));
           });
   return reg;
 }
@@ -169,7 +213,7 @@ GraphFamilyRegistry make_graph_families() {
 PlacementRegistry make_placements() {
   PlacementRegistry reg("placement");
   const auto no_params = std::vector<ParamSpec>{};
-  const auto need_k_le_n = [](std::size_t k, const graph::Graph& g,
+  const auto need_k_le_n = [](std::size_t k, const graph::Topology& g,
                               const char* name) {
     require(k <= g.num_nodes(),
             std::string("placement '") + name + "' requires k <= n (k=" +
@@ -179,13 +223,13 @@ PlacementRegistry make_placements() {
 
   reg.add("adversarial",
           "greedy max-min-distance spread (the paper's adversary)", no_params,
-          [need_k_le_n](const graph::Graph& g, std::size_t k, const Params&,
+          [need_k_le_n](const graph::Topology& g, std::size_t k, const Params&,
                         std::uint64_t seed) {
             need_k_le_n(k, g, "adversarial");
             return graph::nodes_adversarial_spread(g, k, seed);
           });
   reg.add("dispersed", "k distinct uniformly random nodes", no_params,
-          [need_k_le_n](const graph::Graph& g, std::size_t k, const Params&,
+          [need_k_le_n](const graph::Topology& g, std::size_t k, const Params&,
                         std::uint64_t seed) {
             need_k_le_n(k, g, "dispersed");
             return graph::nodes_dispersed_random(g, k, seed);
@@ -193,20 +237,20 @@ PlacementRegistry make_placements() {
   reg.add("undispersed",
           "one node holds two robots, the rest land uniformly (k >= 2)",
           no_params,
-          [](const graph::Graph& g, std::size_t k, const Params&,
+          [](const graph::Topology& g, std::size_t k, const Params&,
              std::uint64_t seed) {
             require(k >= 2, "placement 'undispersed' requires k >= 2");
             return graph::nodes_undispersed_random(g, k, seed);
           });
   reg.add("one-node", "all k robots on one random node", no_params,
-          [](const graph::Graph& g, std::size_t k, const Params&,
+          [](const graph::Topology& g, std::size_t k, const Params&,
              std::uint64_t seed) {
             return graph::nodes_all_on_one(g, k, seed);
           });
   reg.add("pair",
           "planted pair at exact hop distance, rest spread far",
           {{"distance", "hop distance of the planted pair", "2"}},
-          [need_k_le_n](const graph::Graph& g, std::size_t k, const Params& p,
+          [need_k_le_n](const graph::Topology& g, std::size_t k, const Params& p,
                         std::uint64_t seed) {
             require(k >= 2, "placement 'pair' requires k >= 2");
             need_k_le_n(k, g, "pair");
@@ -217,7 +261,7 @@ PlacementRegistry make_placements() {
   reg.add("clustered",
           "co-located groups placed by adversarial spread",
           {{"clusters", "number of groups (0 = max(1, k/2))", "0"}},
-          [](const graph::Graph& g, std::size_t k, const Params& p,
+          [](const graph::Topology& g, std::size_t k, const Params& p,
              std::uint64_t seed) {
             std::size_t clusters = p.get_uint("clusters", 0);
             if (clusters == 0) clusters = std::max<std::size_t>(1, k / 2);
@@ -321,23 +365,30 @@ SequenceRegistry make_sequences() {
   const auto no_params = std::vector<ParamSpec>{};
   reg.add("covering",
           "shortest covering pseudorandom prefix for this graph (oracle-side)",
-          no_params, [](const graph::Graph& g, std::uint64_t seed) {
+          no_params, [](const graph::Topology& g, std::uint64_t seed) {
             return uxs::make_covering_sequence(g, seed);
           });
   reg.add("paper", "pseudorandom, paper length T = n^5 ceil(log2 n)",
-          no_params, [](const graph::Graph& g, std::uint64_t) {
+          no_params, [](const graph::Topology& g, std::uint64_t) {
             const std::size_t n = g.num_nodes();
             return uxs::make_pseudorandom_sequence(n, uxs::paper_length(n));
           });
   reg.add("practical",
           "pseudorandom, cover-time scale 4 n^3 ceil(log2 n)", no_params,
-          [](const graph::Graph& g, std::uint64_t) {
+          [](const graph::Topology& g, std::uint64_t) {
             const std::size_t n = g.num_nodes();
             return uxs::make_pseudorandom_sequence(n, uxs::practical_length(n));
           });
+  reg.add("lazy",
+          "counter-based pseudorandom, practical length, O(1) memory "
+          "(for huge implicit instances)",
+          no_params, [](const graph::Topology& g, std::uint64_t) {
+            const std::size_t n = g.num_nodes();
+            return uxs::make_lazy_sequence(n, uxs::practical_length(n));
+          });
   reg.add("paper-checked",
           "paper length, coverage-validated; falls back to covering",
-          no_params, [](const graph::Graph& g, std::uint64_t seed) {
+          no_params, [](const graph::Topology& g, std::uint64_t seed) {
             const std::size_t n = g.num_nodes();
             auto seq =
                 uxs::make_pseudorandom_sequence(n, uxs::paper_length(n));

@@ -29,22 +29,25 @@
 
 namespace gather::scenario {
 
-/// Builds the graph for (requested n, params, seed). Realized node count
-/// is the returned graph's; it may differ from n (see header comment).
-using FamilyFactory =
-    std::function<graph::Graph(std::size_t n, const Params&, std::uint64_t seed)>;
+/// Builds the graph for (requested n, params, seed) as an immutable
+/// shared Topology — a materialized CSR for most families, an O(1)
+/// descriptor for the implicit-* ones. Realized node count is the
+/// returned topology's; it may differ from n (see header comment).
+using TopologyPtr = std::shared_ptr<const graph::Topology>;
+using FamilyFactory = std::function<TopologyPtr(std::size_t n, const Params&,
+                                                std::uint64_t seed)>;
 
 /// Chooses k start nodes (with multiplicity) on g.
 using PlacementFactory = std::function<std::vector<graph::NodeId>(
-    const graph::Graph& g, std::size_t k, const Params&, std::uint64_t seed)>;
+    const graph::Topology& g, std::size_t k, const Params&, std::uint64_t seed)>;
 
 /// Assigns k distinct labels from [1, n^b].
 using LabelingFactory = std::function<std::vector<graph::RobotLabel>(
     std::size_t k, std::size_t n, unsigned b, std::uint64_t seed)>;
 
 /// Builds the exploration sequence all robots derive (§2.1's black box).
-using SequenceFactory =
-    std::function<uxs::SequencePtr(const graph::Graph& g, std::uint64_t seed)>;
+using SequenceFactory = std::function<uxs::SequencePtr(
+    const graph::Topology& g, std::uint64_t seed)>;
 
 /// Builds the scheduling adversary for a k-robot scenario (see
 /// sim/scheduler.hpp). The seed is the scenario's scheduler sub-seed, so

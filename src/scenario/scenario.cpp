@@ -13,15 +13,14 @@ std::uint64_t sub_seed(std::uint64_t seed, SeedAxis axis) {
   return support::hash_combine(seed, static_cast<std::uint64_t>(axis));
 }
 
-std::shared_ptr<const graph::Graph> resolve_graph(const ScenarioSpec& spec) {
+std::shared_ptr<const graph::Topology> resolve_graph(const ScenarioSpec& spec) {
   const auto& family = graph_families().get(spec.family);
   graph_families().validate_params(family, spec.family_params);
   const std::uint64_t graph_seed = sub_seed(spec.seed, SeedAxis::Graph);
   if (spec.family == "file") {
     // Reads the filesystem — not a pure function of the key, so a cache
     // hit could mask an edited file. Build fresh every time.
-    return std::make_shared<const graph::Graph>(
-        family.factory(spec.n, spec.family_params, graph_seed));
+    return family.factory(spec.n, spec.family_params, graph_seed);
   }
   return graph_cache().get_or_build(
       spec.family, spec.family_params, spec.n, graph_seed,
@@ -66,6 +65,8 @@ ResolvedScenario resolve(const ScenarioSpec& spec) {
   }
   r.run_spec.config.known_min_pair_distance = spec.known_min_pair_distance;
   r.run_spec.record_trace = spec.record_trace;
+  r.run_spec.hard_cap = spec.hard_cap;
+  r.run_spec.decide_threads = spec.decide_threads;
   r.run_spec.scheduler = scheduler.factory(
       spec.k, spec.scheduler_params, sub_seed(spec.seed, SeedAxis::Scheduler));
   // The scheduler's fairness bound is common knowledge, like n: it is
@@ -109,8 +110,11 @@ std::string fingerprint(const ScenarioSpec& spec) {
   field("known_min_pair_distance",
         std::to_string(spec.known_min_pair_distance));
   field("record_trace", spec.record_trace ? "1" : "0");
-  // trace_path is deliberately absent: it names where a trace goes, not
-  // what the run does.
+  field("hard_cap", std::to_string(spec.hard_cap));
+  // trace_path and decide_threads are deliberately absent: the first
+  // names where a trace goes, the second how the decide loop is
+  // scheduled — neither changes what the run does (decide_threads is
+  // byte-identical by the engine contract, pinned in tests).
   return fp;
 }
 

@@ -50,6 +50,17 @@ struct ScenarioSpec {
 
   bool record_trace = false;
 
+  /// Hard round cap override (0 = derive from the schedule). Bounded
+  /// probes on huge implicit instances set this; it changes what the run
+  /// does, so it IS part of the fingerprint.
+  sim::Round hard_cap = 0;
+
+  /// Engine decide-phase worker threads (0/1 = serial). An execution
+  /// strategy, not behavior: every value yields byte-identical runs
+  /// (sim::EngineConfig::decide_threads), so — like trace_path — it is
+  /// deliberately NOT part of the fingerprint.
+  unsigned decide_threads = 0;
+
   /// When non-empty, run_scenario() records the run as a binary trace
   /// (sim/trace.hpp) and writes it here — including a run aborted by a
   /// ProtocolViolation, whose trace is sealed with a violation terminal
@@ -62,13 +73,14 @@ struct ScenarioSpec {
 /// tori, parity-fixed regular graphs) harnesses must report it rather
 /// than pretend the requested n ran.
 ///
-/// The graph is held by shared pointer to one IMMUTABLE instance that
+/// The graph is held by shared pointer to one IMMUTABLE Topology that
 /// the process-wide graph cache may hand to any number of concurrent
 /// resolutions of the same (family, params, n, graph sub-seed) — the
-/// sweep runner's workers all read the same CSR arrays. Everything else
-/// in here is per-run mutable state owned by this resolution alone.
+/// sweep runner's workers all read the same CSR arrays (or share the
+/// same implicit descriptor). Everything else in here is per-run mutable
+/// state owned by this resolution alone.
 struct ResolvedScenario {
-  std::shared_ptr<const graph::Graph> graph;
+  std::shared_ptr<const graph::Topology> graph;
   graph::Placement placement;
   core::RunSpec run_spec;
   std::size_t requested_n = 0;
@@ -84,7 +96,7 @@ struct ResolvedScenario {
 /// reads the filesystem and therefore bypasses the cache. resolve()
 /// composes this with run resolution; harnesses that only need the
 /// graph (DOT export, coverage probes) call it directly.
-[[nodiscard]] std::shared_ptr<const graph::Graph> resolve_graph(
+[[nodiscard]] std::shared_ptr<const graph::Topology> resolve_graph(
     const ScenarioSpec& spec);
 
 /// Look up every axis, validate parameters, and build the instance.

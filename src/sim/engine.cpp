@@ -6,8 +6,17 @@
 #include "sim/trace.hpp"
 #include "support/assert.hpp"
 #include "support/math.hpp"
+#include "support/parallel_for.hpp"
 
 namespace gather::sim {
+
+// 32-bit index audit (see also graph/graph.cpp): slots and nodes are
+// uint32 with all-ones sentinels, and the trace hash packs a move's
+// (from, to) pair into one 64-bit word as (from << 32) | to.
+static_assert(sizeof(NodeId) == 4,
+              "the move hash packs (from << 32) | to into a uint64");
+static_assert(kNoRound == static_cast<Round>(-1),
+              "wake arithmetic saturates against the all-ones Round sentinel");
 
 namespace {
 
@@ -25,11 +34,17 @@ void hash_word(std::uint64_t& h, std::uint64_t w) {
 
 }  // namespace
 
-Engine::Engine(const graph::Graph& graph, EngineConfig config)
+Engine::Engine(const graph::Topology& graph, EngineConfig config)
     : graph_(graph),
-      config_(std::move(config)),
-      occ_head_(graph.num_nodes(), kNoSlot) {
+      csr_(graph.as_csr()),
+      imp_(graph.as_implicit()),
+      config_(std::move(config)) {
   GATHER_EXPECTS(config_.hard_cap > 0);
+  // num_nodes() - 1 must be a representable NodeId distinct from the
+  // kEmpty/kNoSlot sentinels — part of the 32-bit index audit.
+  GATHER_EXPECTS(graph.num_nodes() <=
+                 static_cast<std::size_t>(static_cast<NodeId>(-1)));
+  nodes_.init(graph.num_nodes(), config_.dense_node_limit);
   sched_ = config_.scheduler.get();
   rec_ = config_.trace_recorder;
   suppressing_ = sched_ != nullptr && sched_->fairness_bound() > 0;
@@ -155,7 +170,7 @@ bool Engine::resolve_carry(std::uint32_t s, Round r) {
     // Active leader: the follower mirrors its resolved concrete action.
     const Action& act = resolved_[leader];
     if (act.kind != ActionKind::Move || !act.take_followers) return false;
-    edge = graph_.traverse_unchecked(pos_[leader], act.port);
+    edge = traverse_at(pos_[leader], act.port);
   } else {
     // Suppressed leader: carried iff it is itself carried.
     if (!resolve_carry(leader, r)) return false;
@@ -212,19 +227,27 @@ std::size_t Engine::apply_carried(Round r, RunResult& result) {
 
 void Engine::occupants_insert(NodeId node, std::uint32_t slot) {
   // Splice into the node's list keeping label order (views are sorted).
+  // In sparse mode ref() creates the target node's record; the round
+  // loop always erases before inserting, so the table never grows here.
   const RobotId id = ids_[slot];
-  std::uint32_t* link = &occ_head_[node];
+  std::uint32_t* link = &nodes_.ref(node).head;
   while (*link != kNoSlot && ids_[*link] < id) link = &occ_next_[*link];
   occ_next_[slot] = *link;
   *link = slot;
 }
 
 void Engine::occupants_erase(NodeId node, std::uint32_t slot) {
-  std::uint32_t* link = &occ_head_[node];
+  NodeRec* rec = nodes_.find(node);
+  GATHER_INVARIANT(rec != nullptr);
+  std::uint32_t* link = &rec->head;
   while (*link != kNoSlot && *link != slot) link = &occ_next_[*link];
   GATHER_INVARIANT(*link == slot);
   *link = occ_next_[slot];
   occ_next_[slot] = kNoSlot;
+  // Sparse mode: hand the emptied record back so resident memory stays
+  // O(robots). Safe even though it voids the node's view memo — views of
+  // round r are fully consumed before any round-r move erases occupants.
+  nodes_.release_if_empty(node);
 }
 // gather-lint: hot-path-end(wake-machinery)
 
@@ -261,8 +284,7 @@ RunResult Engine::run() {
   }
   view_arena_.resize(num_slots);
   views_.resize(num_slots);
-  node_view_.assign(graph_.num_nodes(), 0);
-  node_view_stamp_.assign(graph_.num_nodes(), kNoRound);
+  if (config_.decide_threads > 1) decide_bits_.assign(num_slots, 0);
   active_.reserve(num_slots);
   touched_nodes_.reserve(2 * num_slots);
   heap_.reserve(4 * num_slots);
@@ -439,23 +461,32 @@ RunResult Engine::run() {
 // the move/termination application are the per-round critical path.
 // gather-lint: hot-path-begin(round-simulation)
 std::span<const RobotPublicState> Engine::view_for(NodeId node, Round r) {
-  if (node_view_stamp_[node] == r) {
-    const ViewRef ref = views_[node_view_[node]];
+  NodeRec* rec = nodes_.find(node);
+  GATHER_INVARIANT(rec != nullptr);  // only nodes hosting robots are viewed
+  if (rec->view_stamp == r) {
+    const ViewRef ref = views_[rec->view];
     return {view_arena_.data() + ref.begin, ref.size};
   }
   // Materialize the node's snapshot at the arena's write head. Capacity
   // is exact (each robot sits at one node), so no reallocation — spans
   // handed to robots stay valid for the whole round.
   const auto begin = static_cast<std::uint32_t>(arena_used_);
-  for (std::uint32_t occ = occ_head_[node]; occ != kNoSlot;
-       occ = occ_next_[occ]) {
+  for (std::uint32_t occ = rec->head; occ != kNoSlot; occ = occ_next_[occ]) {
     GATHER_INVARIANT(arena_used_ < view_arena_.size());
     view_arena_[arena_used_++] = robots_[occ]->public_state();
   }
   const ViewRef ref{begin, static_cast<std::uint32_t>(arena_used_) - begin};
   views_[views_used_] = ref;
-  node_view_[node] = static_cast<std::uint32_t>(views_used_++);
-  node_view_stamp_[node] = r;
+  rec->view = static_cast<std::uint32_t>(views_used_++);
+  rec->view_stamp = r;
+  return {view_arena_.data() + ref.begin, ref.size};
+}
+
+std::span<const RobotPublicState> Engine::view_cached(NodeId node,
+                                                      Round r) const {
+  const NodeRec* rec = nodes_.find(node);
+  GATHER_INVARIANT(rec != nullptr && rec->view_stamp == r);
+  const ViewRef ref = views_[rec->view];
   return {view_arena_.data() + ref.begin, ref.size};
 }
 
@@ -530,43 +561,69 @@ Action Engine::resolve_action(std::uint32_t s, Round r) {
 // most one per round) that the collection loop re-checks, and the
 // decision is recorded as the slot's standing order for the carry pass.
 template <int Mode>
+std::uint64_t Engine::decide_one(std::uint32_t s, Round r) {
+  RoundView view;
+  if constexpr (Mode == kClockDelayed) {
+    view.round = r - release_[s];
+  } else if constexpr (Mode == kClockLocal) {
+    view.round = local_[s];
+  } else {
+    view.round = r;
+  }
+  view.degree = degree_at(pos_[s]);
+  view.entry_port = entry_port_[s];
+  // Read-only lookup: the simulate_round pre-pass materialized every
+  // active node's view, so decide workers never touch the memo.
+  view.colocated = view_cached(pos_[s], r);
+  std::uint64_t bits = 0;
+  const RobotId self = ids_[s];
+  for (const RobotPublicState& other : view.colocated) {
+    if (other.id == self) continue;
+    bits += support::bit_width_u64(other.id) +
+            support::bit_width_u64(other.group_id) + 3;
+  }
+  decisions_[s] = robots_[s]->on_round(view);
+  if constexpr (Mode == kClockDelayed) {
+    if (decisions_[s].kind == ActionKind::Stay) {
+      decisions_[s].stay_until =
+          support::sat_add(decisions_[s].stay_until, release_[s]);
+    }
+  } else if constexpr (Mode == kClockLocal) {
+    standing_follow_[s] = decisions_[s].kind == ActionKind::Follow
+                              ? decisions_[s].leader
+                              : 0;
+    if (decisions_[s].kind == ActionKind::Stay) {
+      const Round until = decisions_[s].stay_until;
+      decided_stay_local_[s] = until;
+      decisions_[s].stay_until =
+          until > local_[s] ? support::sat_add(r, until - local_[s]) : r + 1;
+    }
+  }
+  decision_stamp_[s] = r;
+  return bits;
+}
+
+template <int Mode>
 void Engine::decide_all(Round r, RunMetrics& m) {
+  const std::size_t count = active_.size();
+  // Parallel fan-out: each robot reads the immutable round views and
+  // writes only its own slots, so partitioning is invisible; the two
+  // metric sums are reduced serially (below) in slot order, making the
+  // whole phase byte-identical to the serial loop at any thread count.
+  if (config_.decide_threads > 1 && count >= config_.decide_min_active) {
+    support::parallel_for_index(count, config_.decide_threads,
+                                [this, r](std::size_t i) {
+                                  decide_bits_[i] =
+                                      decide_one<Mode>(active_[i], r);
+                                });
+    std::uint64_t bits = 0;
+    for (std::size_t i = 0; i < count; ++i) bits += decide_bits_[i];
+    m.total_message_bits += bits;
+    m.decision_calls += count;
+    return;
+  }
   for (const std::uint32_t s : active_) {
-    RoundView view;
-    if constexpr (Mode == kClockDelayed) {
-      view.round = r - release_[s];
-    } else if constexpr (Mode == kClockLocal) {
-      view.round = local_[s];
-    } else {
-      view.round = r;
-    }
-    view.degree = graph_.degree(pos_[s]);
-    view.entry_port = entry_port_[s];
-    view.colocated = view_for(pos_[s], r);
-    const RobotId self = ids_[s];
-    for (const RobotPublicState& other : view.colocated) {
-      if (other.id == self) continue;
-      m.total_message_bits += support::bit_width_u64(other.id) +
-                              support::bit_width_u64(other.group_id) + 3;
-    }
-    decisions_[s] = robots_[s]->on_round(view);
-    if constexpr (Mode == kClockDelayed) {
-      if (decisions_[s].kind == ActionKind::Stay) {
-        decisions_[s].stay_until =
-            support::sat_add(decisions_[s].stay_until, release_[s]);
-      }
-    } else if constexpr (Mode == kClockLocal) {
-      standing_follow_[s] = decisions_[s].kind == ActionKind::Follow
-                                ? decisions_[s].leader
-                                : 0;
-      if (decisions_[s].kind == ActionKind::Stay) {
-        const Round until = decisions_[s].stay_until;
-        decided_stay_local_[s] = until;
-        decisions_[s].stay_until =
-            until > local_[s] ? support::sat_add(r, until - local_[s]) : r + 1;
-      }
-    }
-    decision_stamp_[s] = r;
+    m.total_message_bits += decide_one<Mode>(s, r);
     ++m.decision_calls;
   }
 }
@@ -628,9 +685,9 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
       case ActionKind::Move: {
         // A robot handing back an out-of-range port broke its own
         // contract — robot-side, so protocol-class (recordable).
-        GATHER_PROTOCOL(action.port < graph_.degree(pos_[s]));
+        GATHER_PROTOCOL(action.port < degree_at(pos_[s]));
         const NodeId from = pos_[s];
-        const graph::HalfEdge h = graph_.traverse_unchecked(from, action.port);
+        const graph::HalfEdge h = traverse_at(from, action.port);
         occupants_erase(from, s);
         occupants_insert(h.to, s);
         pos_[s] = h.to;
@@ -722,7 +779,9 @@ std::size_t Engine::simulate_round(Round r, RunResult& result) {
         std::unique(touched_nodes_.begin(), touched_nodes_.end()),
         touched_nodes_.end());
     for (const NodeId node : touched_nodes_) {
-      for (std::uint32_t occ = occ_head_[node]; occ != kNoSlot;
+      const NodeRec* rec = nodes_.find(node);
+      if (rec == nullptr) continue;  // sparse mode: node emptied by a move
+      for (std::uint32_t occ = rec->head; occ != kNoSlot;
            occ = occ_next_[occ]) {
         if (terminated_[occ] != 0) continue;
         // Crashed and still-dormant occupants would only be dropped or

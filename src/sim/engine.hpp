@@ -78,7 +78,9 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/implicit.hpp"
 #include "sim/metrics.hpp"
+#include "sim/node_table.hpp"
 #include "sim/robot.hpp"
 #include "sim/scheduler.hpp"
 
@@ -107,6 +109,22 @@ struct EngineConfig {
   /// Scheduling adversary (see sim/scheduler.hpp). Null is the paper's
   /// synchronous model, bit-identical to SynchronousScheduler.
   std::shared_ptr<const Scheduler> scheduler;
+  /// Decide-phase worker threads (0 or 1 = serial). Each robot's decision
+  /// reads the immutable round-stamped views and writes only its own SoA
+  /// slots, and the two per-round metric sums are commutative, so every
+  /// thread count yields byte-identical runs (pinned by
+  /// tests/implicit_graph_test.cpp and the TSan CI leg). The one caveat:
+  /// when several robots violate their protocol in the SAME round, which
+  /// violation's exception surfaces is unspecified under parallel decide.
+  unsigned decide_threads = 0;
+  /// Fan the decide loop out only at or above this many active robots —
+  /// below it the per-round thread spawn dominates the work. Exposed so
+  /// the boundary tests can force both paths.
+  std::size_t decide_min_active = 4096;
+  /// Dense per-node bookkeeping at or below this node count; above it the
+  /// engine switches to the O(robots) sparse node table (sim/node_table.hpp).
+  /// Exposed so tests can force sparse mode on small graphs.
+  std::size_t dense_node_limit = NodeTable::kDefaultDenseLimit;
 };
 
 struct TraceEvent {
@@ -118,7 +136,10 @@ struct TraceEvent {
 
 class Engine {
  public:
-  Engine(const graph::Graph& graph, EngineConfig config);
+  /// Accepts any Topology; the concrete representation is resolved once
+  /// here (CSR / implicit) so the round loop dispatches with a predicted
+  /// branch instead of a virtual call per traversal.
+  Engine(const graph::Topology& graph, EngineConfig config);
 
   /// Register a robot at its start node. All robots must be added before
   /// run(); labels must be unique.
@@ -139,8 +160,24 @@ class Engine {
   /// Slot sentinel ("null" link / failed lookup).
   static constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
 
-  const graph::Graph& graph_;
+  const graph::Topology& graph_;
+  /// Concrete-representation fast paths (exactly one is non-null for the
+  /// shipped Topology implementations; both null falls back to virtual
+  /// dispatch, which stays correct for exotic test doubles).
+  const graph::Graph* csr_ = nullptr;
+  const graph::ImplicitGraph* imp_ = nullptr;
   EngineConfig config_;
+
+  [[nodiscard]] std::uint32_t degree_at(NodeId v) const {
+    if (csr_ != nullptr) return csr_->degree(v);
+    if (imp_ != nullptr) return imp_->degree(v);
+    return graph_.degree(v);
+  }
+  [[nodiscard]] graph::HalfEdge traverse_at(NodeId v, graph::Port p) const {
+    if (csr_ != nullptr) return csr_->traverse_unchecked(v, p);
+    if (imp_ != nullptr) return imp_->traverse_unchecked(v, p);
+    return graph_.traverse(v, p);
+  }
 
   // ---- scheduler policy, cached off the hot path ------------------------
   // The per-slot release/crash rounds are sampled once in add_robot; the
@@ -180,7 +217,9 @@ class Engine {
   std::vector<std::uint32_t> slots_by_id_;
 
   // ---- node occupancy: intrusive lists sorted by label ------------------
-  std::vector<std::uint32_t> occ_head_;  ///< per node: first slot or kNoSlot
+  // Heads (plus the view memo words) live in the dense-or-sparse node
+  // table; occ_next_ stays a per-slot array.
+  NodeTable nodes_;
   std::vector<std::uint32_t> occ_next_;  ///< per slot: next slot or kNoSlot
 
   /// Lazy min-heap of (wake_round, slot); entries may be stale.
@@ -199,8 +238,6 @@ class Engine {
     std::uint32_t size = 0;
   };
   std::vector<ViewRef> views_;
-  std::vector<std::uint32_t> node_view_;  ///< per node: index into views_
-  std::vector<Round> node_view_stamp_;    ///< per node: round of validity
   std::size_t views_used_ = 0;
   std::size_t arena_used_ = 0;
 
@@ -211,6 +248,9 @@ class Engine {
   std::vector<std::uint8_t> resolve_mark_;
   std::vector<NodeId> touched_nodes_;
   std::vector<std::uint32_t> active_;
+  /// Parallel decide: per-active-index message-bit results, reduced
+  /// serially so the metric sum is order-identical to the serial path.
+  std::vector<std::uint64_t> decide_bits_;
 
   // ---- suppression-only scratch (sized in run(), unused otherwise) ------
   std::vector<Round> decided_stay_local_;  ///< pre-translation Stay deadline
@@ -221,6 +261,11 @@ class Engine {
 
   [[nodiscard]] std::span<const RobotPublicState> view_for(NodeId node,
                                                            Round r);
+  /// Read-only lookup of a view already materialized for round r by the
+  /// simulate_round pre-pass — the decide phase's accessor, safe to call
+  /// from any decide worker thread (no memo writes).
+  [[nodiscard]] std::span<const RobotPublicState> view_cached(NodeId node,
+                                                              Round r) const;
   Action resolve_action(std::uint32_t slot, Round r);
 
   /// Robot-clock modes of the decision loop (see engine.cpp).
@@ -229,6 +274,10 @@ class Engine {
   static constexpr int kClockLocal = 2;
   template <int Mode>
   void decide_all(Round r, RunMetrics& m);
+  /// One robot's decide step; returns the message bits it received (the
+  /// caller owns the metric accumulation). Writes only slot-s state.
+  template <int Mode>
+  std::uint64_t decide_one(std::uint32_t s, Round r);
 
   /// Advance slot's local clock over [synced_to_, r) by counting the
   /// scheduler's activates() predicate (suppressing schedulers only).

@@ -7,7 +7,7 @@ namespace {
 /// Walk the sequence, invoking visit(node) on every visited node
 /// (including the start); returns the final node.
 template <typename Visit>
-graph::NodeId walk(const graph::Graph& g, const ExplorationSequence& seq,
+graph::NodeId walk(const graph::Topology& g, const ExplorationSequence& seq,
                    graph::NodeId start, std::uint64_t steps, Visit&& visit) {
   graph::NodeId at = start;
   Port entry = graph::kNoPort;
@@ -26,7 +26,7 @@ graph::NodeId walk(const graph::Graph& g, const ExplorationSequence& seq,
 
 }  // namespace
 
-bool explores_from(const graph::Graph& g, const ExplorationSequence& seq,
+bool explores_from(const graph::Topology& g, const ExplorationSequence& seq,
                    graph::NodeId start) {
   std::vector<bool> seen(g.num_nodes(), false);
   std::size_t count = 0;
@@ -39,14 +39,14 @@ bool explores_from(const graph::Graph& g, const ExplorationSequence& seq,
   return count == g.num_nodes();
 }
 
-bool covers_all_starts(const graph::Graph& g, const ExplorationSequence& seq) {
+bool covers_all_starts(const graph::Topology& g, const ExplorationSequence& seq) {
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     if (!explores_from(g, seq, v)) return false;
   }
   return true;
 }
 
-graph::NodeId walk_endpoint(const graph::Graph& g,
+graph::NodeId walk_endpoint(const graph::Topology& g,
                             const ExplorationSequence& seq,
                             graph::NodeId start, std::uint64_t steps) {
   GATHER_EXPECTS(steps <= seq.length());

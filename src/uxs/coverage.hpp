@@ -13,16 +13,16 @@ namespace gather::uxs {
 
 /// Walk the sequence from `start` (entry kNoPort); return true if every
 /// node of g is visited. Nodes of degree 0 (only n = 1) trivially covered.
-[[nodiscard]] bool explores_from(const graph::Graph& g,
+[[nodiscard]] bool explores_from(const graph::Topology& g,
                                  const ExplorationSequence& seq,
                                  graph::NodeId start);
 
 /// True if the sequence explores g from every start node.
-[[nodiscard]] bool covers_all_starts(const graph::Graph& g,
+[[nodiscard]] bool covers_all_starts(const graph::Topology& g,
                                      const ExplorationSequence& seq);
 
 /// The node reached after walking `steps` sequence elements from `start`.
-[[nodiscard]] graph::NodeId walk_endpoint(const graph::Graph& g,
+[[nodiscard]] graph::NodeId walk_endpoint(const graph::Topology& g,
                                           const ExplorationSequence& seq,
                                           graph::NodeId start,
                                           std::uint64_t steps);

@@ -16,7 +16,16 @@ Port next_port(Port entry_port, std::uint64_t offset, std::uint32_t degree) {
 
 ExplorationSequence::ExplorationSequence(std::string name,
                                          std::vector<std::uint32_t> offsets)
-    : name_(std::move(name)), offsets_(std::move(offsets)) {}
+    : name_(std::move(name)), offsets_(std::move(offsets)) {
+  length_ = offsets_.size();
+}
+
+ExplorationSequence::ExplorationSequence(std::string name,
+                                         std::uint64_t lazy_seed,
+                                         std::uint64_t length)
+    : name_(std::move(name)), lazy_seed_(lazy_seed), length_(length) {
+  GATHER_EXPECTS(length >= 1);
+}
 
 std::uint64_t paper_length(std::size_t n) {
   using support::sat_mul;
@@ -54,7 +63,17 @@ SequencePtr make_pseudorandom_sequence(std::size_t n, std::uint64_t length) {
       pseudorandom_offsets(seed, length));
 }
 
-SequencePtr make_covering_sequence(const graph::Graph& g, std::uint64_t seed) {
+SequencePtr make_lazy_sequence(std::size_t n, std::uint64_t length) {
+  GATHER_EXPECTS(n >= 1);
+  GATHER_EXPECTS(length >= 1);
+  // Same n-only seeding contract as make_pseudorandom_sequence, distinct
+  // stream tag (the lazy offsets are hash-per-step, not Xoshiro output).
+  const std::uint64_t seed = support::hash_combine(0x1A27C0DEu, n);
+  return std::make_shared<ExplorationSequence>(
+      "lazy(n=" + std::to_string(n) + ")", seed, length);
+}
+
+SequencePtr make_covering_sequence(const graph::Topology& g, std::uint64_t seed) {
   const std::size_t n = g.num_nodes();
   if (n == 1) {
     return std::make_shared<ExplorationSequence>("covering(n=1)",

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "support/rng.hpp"
 
 namespace gather::uxs {
 
@@ -40,20 +41,32 @@ using Port = graph::Port;
                              std::uint32_t degree);
 
 /// An exploration sequence: immutable offsets with a descriptive name.
+/// Two storage modes share one type (no virtual dispatch in walk loops):
+/// materialized offsets, or a lazy counter-based form whose offsets are
+/// hashed from (seed, step) on demand — O(1) memory at any length, which
+/// is what lets implicit n >= 10^6 scenarios resolve without a
+/// length-T allocation.
 class ExplorationSequence {
  public:
   ExplorationSequence(std::string name, std::vector<std::uint32_t> offsets);
+  /// Lazy mode: offset(step) = hash(seed, step) — nothing is stored.
+  ExplorationSequence(std::string name, std::uint64_t lazy_seed,
+                      std::uint64_t length);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
-  [[nodiscard]] std::uint64_t length() const noexcept { return offsets_.size(); }
+  [[nodiscard]] std::uint64_t length() const noexcept { return length_; }
   [[nodiscard]] std::uint32_t offset(std::uint64_t step) const {
-    GATHER_EXPECTS(step < offsets_.size());
-    return offsets_[step];
+    GATHER_EXPECTS(step < length_);
+    if (!offsets_.empty()) return offsets_[step];
+    return static_cast<std::uint32_t>(
+        support::hash_combine(lazy_seed_, step) >> 32);
   }
 
  private:
   std::string name_;
   std::vector<std::uint32_t> offsets_;
+  std::uint64_t lazy_seed_ = 0;
+  std::uint64_t length_ = 0;
 };
 
 using SequencePtr = std::shared_ptr<const ExplorationSequence>;
@@ -75,11 +88,17 @@ using SequencePtr = std::shared_ptr<const ExplorationSequence>;
 [[nodiscard]] SequencePtr make_pseudorandom_sequence(std::size_t n,
                                                      std::uint64_t length);
 
+/// Lazy counter-based pseudorandom sequence: same determinism contract
+/// as make_pseudorandom_sequence (seed depends only on n) but O(1)
+/// memory at any length — the policy for huge implicit instances.
+[[nodiscard]] SequencePtr make_lazy_sequence(std::size_t n,
+                                             std::uint64_t length);
+
 /// Test substrate: the shortest pseudorandom prefix (grown in chunks) that
 /// covers `g` from every start node; validated before returning. This uses
 /// the actual graph and therefore lives outside the robot model — see
 /// DESIGN.md §3.1.
-[[nodiscard]] SequencePtr make_covering_sequence(const graph::Graph& g,
+[[nodiscard]] SequencePtr make_covering_sequence(const graph::Topology& g,
                                                  std::uint64_t seed);
 
 }  // namespace gather::uxs

@@ -534,7 +534,7 @@ TEST(SemiSynchronous, PaperAlgorithmsGatherAcrossAllFamilies) {
     if (family == "file") continue;
     sweep.families.push_back(family);
   }
-  EXPECT_EQ(sweep.families.size(), 16u);
+  EXPECT_EQ(sweep.families.size(), 19u);  // 16 materialized + 3 implicit
   sweep.algorithms = scenario::algorithms().list();
   sweep.skip_infeasible = true;  // hypercube realizes n=8 etc.
   const std::vector<scenario::SweepRow> rows =

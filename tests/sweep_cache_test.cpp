@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -21,11 +22,11 @@
 namespace gather::scenario {
 namespace {
 
-graph::Graph tiny_ring(std::size_t n) {
+TopologyPtr tiny_ring(std::size_t n) {
   ScenarioSpec spec;
   spec.family = "ring";
   spec.n = n;
-  return *resolve_graph(spec);
+  return resolve_graph(spec);
 }
 
 TEST(GraphCacheTest, KeyIsCanonicalOverParamInsertionOrder) {
@@ -54,7 +55,7 @@ TEST(GraphCacheTest, SharesOnePhysicalGraphAcrossThreads) {
   GraphCache cache(8);
   const Params none;
   std::atomic<int> builds{0};
-  std::vector<std::shared_ptr<const graph::Graph>> got(8);
+  std::vector<std::shared_ptr<const graph::Topology>> got(8);
   std::vector<std::thread> pool;
   pool.reserve(got.size());
   for (std::size_t t = 0; t < got.size(); ++t) {
@@ -105,7 +106,7 @@ TEST(GraphCacheTest, FailedBuildPropagatesAndRetries) {
   GraphCache cache(4);
   const Params none;
   int calls = 0;
-  const auto flaky = [&calls]() -> graph::Graph {
+  const auto flaky = [&calls]() -> TopologyPtr {
     if (++calls == 1) throw ScenarioError("transient");
     return tiny_ring(9);
   };
@@ -116,6 +117,50 @@ TEST(GraphCacheTest, FailedBuildPropagatesAndRetries) {
   ASSERT_NE(g, nullptr);
   EXPECT_EQ(calls, 2);
   EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(GraphCacheTest, ImplicitDescriptorsAreCacheTrivial) {
+  // An implicit family resolves through the cache like any other key,
+  // but its entry charges ~0 resident bytes: the descriptor is a few
+  // integers, not a CSR payload (satellite: byte accounting).
+  ScenarioSpec spec;
+  spec.family = "implicit-grid";
+  spec.n = 1000 * 1000;
+  const std::uint64_t bytes_before = graph_cache().stats().resident_bytes;
+  const TopologyPtr g = resolve_graph(spec);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->num_nodes(), 1000u * 1000u);
+  EXPECT_NE(g->as_implicit(), nullptr);
+  EXPECT_EQ(g->memory_bytes(), 0u);
+  const std::uint64_t bytes_after = graph_cache().stats().resident_bytes;
+  EXPECT_EQ(bytes_after, bytes_before);  // +0 for the implicit entry
+  // A materialized family of trivial size charges its real CSR bytes.
+  const TopologyPtr ring = tiny_ring(9);
+  EXPECT_GT(ring->memory_bytes(), 0u);
+}
+
+TEST(GraphCacheTest, FileFamilyStillBypassesTheCache) {
+  // "file" reads the filesystem — not a pure function of the key — so
+  // resolve_graph must build it fresh every time, never caching.
+  const std::string path = testing::TempDir() + "/bypass_ring.edges";
+  {
+    std::ofstream os(path);
+    os << "nodes 3\nedge 0 1\nedge 1 2\nedge 2 0\n";
+  }
+  ScenarioSpec spec;
+  spec.family = "file";
+  spec.family_params.set("path", path);
+  spec.n = 3;
+  const GraphCacheStats before = graph_cache().stats();
+  const TopologyPtr a = resolve_graph(spec);
+  const TopologyPtr b = resolve_graph(spec);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a.get(), b.get());  // fresh build per call, never shared
+  const GraphCacheStats after = graph_cache().stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.entries, before.entries);
 }
 
 TEST(GraphCacheTest, ResolveSharesGraphBetweenIdenticalSpecs) {
@@ -168,7 +213,15 @@ TEST(FingerprintTest, SeparatesSpecsAndIgnoresTracePath) {
   other.delta_aware = true;
   EXPECT_NE(base, fingerprint(other));
   other = spec;
+  other.hard_cap = 123;
+  EXPECT_NE(base, fingerprint(other));  // hard_cap changes the outcome
+  other = spec;
   other.trace_path = "/tmp/somewhere.trace";
+  EXPECT_EQ(base, fingerprint(other));
+  // decide_threads is execution strategy: byte-identical results by
+  // construction, so the memo must treat all thread counts as one key.
+  other = spec;
+  other.decide_threads = 8;
   EXPECT_EQ(base, fingerprint(other));
 }
 
