@@ -15,15 +15,24 @@
 //    workers with steal_chunk=1, the shape static index splitting
 //    handles worst: whichever worker drew the big points finished late
 //    while the rest idled. items_per_second counts rows.
+//  * BM_SweepApiBoundary — the SAME warm grid pushed through the C ABI
+//    (gather_sweep_csv on one long-lived gather_service): every row is
+//    a result-cache hit, so the measurement is the boundary itself —
+//    spec-text parse, sweep orchestration, CSV serialization, and the
+//    malloc'd hand-off. Comparing warm_rps here against the A/B bench's
+//    warm arm prices what an embedder pays over linking C++ directly.
 //
 // `--json=<path>` writes the stable-schema BENCH_sweep.json perf record
 // (bench_common.hpp) that check_bench_regression.py gates on.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstring>
 #include <sstream>
+#include <string>
 
 #include "bench_common.hpp"
+#include "libgather.h"
 #include "scenario/sweep.hpp"
 
 namespace gather {
@@ -56,16 +65,16 @@ scenario::SweepSpec acceptance_grid() {
 void BM_SweepColdVsWarmCacheAB(benchmark::State& state) {
   scenario::SweepSpec sweep = acceptance_grid();
   sweep.threads = static_cast<unsigned>(state.range(0));
+  scenario::Caches caches;  // the context whose warmth the B arm measures
   double cold_s = 0.0;
   double warm_s = 0.0;
   std::size_t rows_per_run = 0;
   for (auto _ : state) {
-    scenario::graph_cache().clear();
-    scenario::result_cache().clear();
+    caches.clear();
     const auto t0 = std::chrono::steady_clock::now();
-    const auto cold = scenario::SweepRunner::run(sweep);
+    const auto cold = scenario::SweepRunner::run(sweep, caches);
     const auto t1 = std::chrono::steady_clock::now();
-    const auto warm = scenario::SweepRunner::run(sweep);
+    const auto warm = scenario::SweepRunner::run(sweep, caches);
     const auto t2 = std::chrono::steady_clock::now();
     cold_s += std::chrono::duration<double>(t1 - t0).count();
     warm_s += std::chrono::duration<double>(t2 - t1).count();
@@ -105,6 +114,55 @@ void BM_SweepSkewedImbalance(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * rows_per_run));
 }
 BENCHMARK(BM_SweepSkewedImbalance)->Arg(1)->Arg(4)->UseRealTime();
+
+std::string join_list(const std::vector<std::string>& items) {
+  std::string out;
+  for (const std::string& item : items) {
+    if (!out.empty()) out += ',';
+    out += item;
+  }
+  return out;
+}
+
+void BM_SweepApiBoundary(benchmark::State& state) {
+  // acceptance_grid() as spec text (parse_sweep_spec applies the same
+  // skip-infeasible/tolerate policy the C++ spec sets explicitly).
+  const std::string spec_text = "families=" + join_list(kAllFamilies) +
+                                "\nschedulers=" + join_list(kAllSchedulers) +
+                                "\nsizes=12\nk=4\nseeds=1\n"
+                                "use_result_cache=1\nthreads=" +
+                                std::to_string(state.range(0)) + "\n";
+  gather_service* service = gather_service_new();
+  // Warm the context once; every measured call is boundary + memo hits.
+  char* warmup = nullptr;
+  if (gather_sweep_csv(service, spec_text.c_str(), &warmup) !=
+      GATHER_STATUS_OK) {
+    state.SkipWithError(gather_last_error());
+    gather_service_free(service);
+    return;
+  }
+  std::size_t rows_per_run = 0;
+  for (const char* p = warmup; *p != '\0'; ++p) {
+    if (*p == '\n') ++rows_per_run;
+  }
+  rows_per_run -= 1;  // header line
+  gather_free(warmup);
+  for (auto _ : state) {
+    char* csv = nullptr;
+    if (gather_sweep_csv(service, spec_text.c_str(), &csv) !=
+        GATHER_STATUS_OK) {
+      state.SkipWithError(gather_last_error());
+      break;
+    }
+    benchmark::DoNotOptimize(csv);
+    gather_free(csv);
+  }
+  gather_service_free(service);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * rows_per_run));
+  state.counters["grid_rows"] = static_cast<double>(rows_per_run);
+}
+BENCHMARK(BM_SweepApiBoundary)->Arg(1)->Arg(4)->UseRealTime();
 
 /// Console reporter that also collects every run into a BenchJson row
 /// (same tee pattern as bench_engine_throughput).

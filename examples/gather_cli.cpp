@@ -15,11 +15,27 @@
 // Sweep mode prints one CSV/JSON row per grid point (deterministic:
 // identical invocations emit byte-identical output across runs and
 // thread counts).
+//
+// The CLI is a thin harness over gather::Service (src/api/) — the same
+// context object the C ABI in include/libgather.h wraps — so its
+// caches, resolution, and sweep execution are exactly what an embedder
+// gets.
+//
+// Exit codes (the 0..3 subset of gather_status in include/libgather.h):
+//   0  success: detection certified, sweep completed, traces identical
+//   1  violation / failed verdict: a protocol violation was reported, a
+//      run's detection was not certified, --diff found a divergence, or
+//      --replay replayed a violation-terminated trace
+//   2  usage: bad flags, unknown registry keys or parameters,
+//      unsatisfiable specs
+//   3  internal: engine invariant failure, unreadable/corrupt trace
+//      files, or any unforeseen error
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 
+#include "api/service.hpp"
 #include "core/timeline.hpp"
 #include "graph/io.hpp"
 #include "scenario/scenario.hpp"
@@ -237,11 +253,12 @@ void print_replay_summary(std::ostream& os, const sim::Trace& trace,
 
 int run_replay(const support::CliParser& cli) {
   const std::string path = cli.get("replay");
-  const sim::Trace trace = sim::decode_trace(sim::read_trace_file(path));
-  const sim::ReplayResult replay = sim::replay_trace(trace);
+  const Service::ReplayReport report = Service::replay(path);
   std::cout << "replayed " << path << "\n";
-  print_replay_summary(std::cout, trace, replay);
-  return 0;
+  print_replay_summary(std::cout, report.trace, report.replay);
+  // A violation-terminated trace replays fine, but its verdict is the
+  // violation — exit 1, matching GATHER_STATUS_VIOLATION.
+  return report.replay.violation ? 1 : 0;
 }
 
 int run_diff(const support::CliParser& cli) {
@@ -263,7 +280,7 @@ int run_diff(const support::CliParser& cli) {
   return 1;
 }
 
-int run_sweep(const support::CliParser& cli) {
+int run_sweep(const support::CliParser& cli, Service& service) {
   scenario::SweepSpec sweep;
   sweep.base = base_spec(cli);
   sweep.families = split_list(cli.get("families"));
@@ -295,8 +312,7 @@ int run_sweep(const support::CliParser& cli) {
   sweep.tolerate_protocol_violations = true;
 
   scenario::SweepStats stats;
-  const std::vector<scenario::SweepRow> rows =
-      scenario::SweepRunner::run(sweep, &stats);
+  const std::vector<scenario::SweepRow> rows = service.sweep(sweep, &stats);
   const std::string format = cli.get("format");
   std::ofstream file;
   std::ostream* os = &std::cout;
@@ -336,9 +352,9 @@ int run_sweep(const support::CliParser& cli) {
   return 0;
 }
 
-int run_single(const support::CliParser& cli) {
+int run_single(const support::CliParser& cli, Service& service) {
   const scenario::ScenarioSpec spec = base_spec(cli);
-  const scenario::ResolvedScenario resolved = scenario::resolve(spec);
+  const scenario::ResolvedScenario resolved = service.resolve(spec);
 
   std::cout << "instance: n=" << resolved.realized_n;
   // The 'file' family takes n from the file — there is no request.
@@ -497,12 +513,23 @@ int main(int argc, char** argv) {
     }
     if (cli.get_flag("diff")) return run_diff(cli);
     if (cli.provided("replay")) return run_replay(cli);
-    return cli.get_flag("sweep") ? run_sweep(cli) : run_single(cli);
+    // One Service for the invocation: the CLI is an embedder like any
+    // other, so its graph/result caches live exactly as long as main.
+    Service service;
+    return cli.get_flag("sweep") ? run_sweep(cli, service)
+                                 : run_single(cli, service);
   } catch (const support::CliError& e) {
     std::cerr << "error: " << e.what() << "\n\n" << cli.usage("gather_cli");
     return 2;
-  } catch (const std::exception& e) {
+  } catch (const scenario::ScenarioError& e) {
+    // Unknown registry keys / parameters / unsatisfiable specs: the
+    // user's request was malformed — usage, like GATHER_STATUS_USAGE.
     std::cerr << "error: " << e.what() << "\n";
     return 2;
+  } catch (const std::exception& e) {
+    // Everything else — engine invariants, trace IO/corruption — is an
+    // internal failure, like GATHER_STATUS_INTERNAL.
+    std::cerr << "error: " << e.what() << "\n";
+    return 3;
   }
 }

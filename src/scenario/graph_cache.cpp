@@ -122,9 +122,4 @@ void GraphCache::clear() {
   ++epoch_;
 }
 
-GraphCache& graph_cache() {
-  static GraphCache cache;
-  return cache;
-}
-
 }  // namespace gather::scenario

@@ -97,9 +97,9 @@ class GraphCache {
   GraphCacheStats stats_;
 };
 
-/// The process-wide cache scenario::resolve() goes through. Families
-/// whose factories are not pure functions of the key (today: "file",
-/// which reads the filesystem) bypass it.
-[[nodiscard]] GraphCache& graph_cache();
+// There is deliberately no process-wide GraphCache instance: cache
+// lifetime is owned by an explicit context (scenario::Caches, fronted by
+// gather::Service in src/api/), and resolution takes the cache as a
+// handle — see scenario::resolve_graph(spec, cache).
 
 }  // namespace gather::scenario

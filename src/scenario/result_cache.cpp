@@ -72,9 +72,4 @@ void ResultCache::clear() {
   stats_ = ResultCacheStats{};
 }
 
-ResultCache& result_cache() {
-  static ResultCache cache;
-  return cache;
-}
-
 }  // namespace gather::scenario

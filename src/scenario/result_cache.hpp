@@ -86,8 +86,9 @@ class ResultCache {
   ResultCacheStats stats_;
 };
 
-/// The process-wide cache SweepRunner uses when
-/// SweepSpec::use_result_cache is set.
-[[nodiscard]] ResultCache& result_cache();
+// There is deliberately no process-wide ResultCache instance: the memo
+// is owned by an explicit context (scenario::Caches, fronted by
+// gather::Service in src/api/) and handed to SweepRunner::run — two
+// embeddings in one process never share or clear each other's entries.
 
 }  // namespace gather::scenario

@@ -13,21 +13,25 @@ std::uint64_t sub_seed(std::uint64_t seed, SeedAxis axis) {
   return support::hash_combine(seed, static_cast<std::uint64_t>(axis));
 }
 
-std::shared_ptr<const graph::Topology> resolve_graph(const ScenarioSpec& spec) {
+namespace {
+
+std::shared_ptr<const graph::Topology> resolve_graph_impl(
+    const ScenarioSpec& spec, GraphCache* cache) {
   const auto& family = graph_families().get(spec.family);
   graph_families().validate_params(family, spec.family_params);
   const std::uint64_t graph_seed = sub_seed(spec.seed, SeedAxis::Graph);
-  if (spec.family == "file") {
-    // Reads the filesystem — not a pure function of the key, so a cache
-    // hit could mask an edited file. Build fresh every time.
+  if (cache == nullptr || spec.family == "file") {
+    // No cache handle: the caller owns no context, so build fresh.
+    // "file" reads the filesystem — not a pure function of the key, so a
+    // cache hit could mask an edited file — and bypasses any cache.
     return family.factory(spec.n, spec.family_params, graph_seed);
   }
-  return graph_cache().get_or_build(
+  return cache->get_or_build(
       spec.family, spec.family_params, spec.n, graph_seed,
       [&] { return family.factory(spec.n, spec.family_params, graph_seed); });
 }
 
-ResolvedScenario resolve(const ScenarioSpec& spec) {
+ResolvedScenario resolve_impl(const ScenarioSpec& spec, GraphCache* cache) {
   const auto& family = graph_families().get(spec.family);
   graph_families().validate_params(family, spec.family_params);
   const auto& placement = placements().get(spec.placement);
@@ -40,7 +44,7 @@ ResolvedScenario resolve(const ScenarioSpec& spec) {
 
   ResolvedScenario r;
   r.requested_n = spec.n;
-  r.graph = resolve_graph(spec);
+  r.graph = resolve_graph_impl(spec, cache);
   r.realized_n = r.graph->num_nodes();
 
   const std::vector<graph::NodeId> nodes =
@@ -76,6 +80,25 @@ ResolvedScenario resolve(const ScenarioSpec& spec) {
   r.run_spec.config.fairness =
       std::max<sim::Round>(1, r.run_spec.scheduler->fairness_bound());
   return r;
+}
+
+}  // namespace
+
+std::shared_ptr<const graph::Topology> resolve_graph(const ScenarioSpec& spec) {
+  return resolve_graph_impl(spec, nullptr);
+}
+
+std::shared_ptr<const graph::Topology> resolve_graph(const ScenarioSpec& spec,
+                                                     GraphCache& cache) {
+  return resolve_graph_impl(spec, &cache);
+}
+
+ResolvedScenario resolve(const ScenarioSpec& spec) {
+  return resolve_impl(spec, nullptr);
+}
+
+ResolvedScenario resolve(const ScenarioSpec& spec, GraphCache& cache) {
+  return resolve_impl(spec, &cache);
 }
 
 std::string fingerprint(const ScenarioSpec& spec) {

@@ -74,7 +74,7 @@ struct ScenarioSpec {
 /// than pretend the requested n ran.
 ///
 /// The graph is held by shared pointer to one IMMUTABLE Topology that
-/// the process-wide graph cache may hand to any number of concurrent
+/// a context's graph cache may hand to any number of concurrent
 /// resolutions of the same (family, params, n, graph sub-seed) — the
 /// sweep runner's workers all read the same CSR arrays (or share the
 /// same implicit descriptor). Everything else in here is per-run mutable
@@ -89,20 +89,30 @@ struct ResolvedScenario {
   std::uint32_t min_pair_distance = 0;
 };
 
+class GraphCache;
+
 /// Graph resolution alone: look up the family, validate its params, and
-/// return the shared immutable graph — through the process-wide
-/// scenario::graph_cache() for every family whose factory is a pure
-/// function of (family, params, n, graph sub-seed); the "file" family
-/// reads the filesystem and therefore bypasses the cache. resolve()
-/// composes this with run resolution; harnesses that only need the
-/// graph (DOT export, coverage probes) call it directly.
+/// return the shared immutable graph. The cache-handle overload shares
+/// one physical instance per (family, params, n, graph sub-seed) across
+/// every resolution that passes the SAME cache — cache lifetime is owned
+/// by the caller's context (scenario::Caches / gather::Service), never
+/// by the process. Families whose factories are not pure functions of
+/// the key (today: "file", which reads the filesystem) bypass the cache.
+/// The cacheless overload builds fresh every call. resolve() composes
+/// this with run resolution; harnesses that only need the graph (DOT
+/// export, coverage probes) call it directly.
 [[nodiscard]] std::shared_ptr<const graph::Topology> resolve_graph(
     const ScenarioSpec& spec);
+[[nodiscard]] std::shared_ptr<const graph::Topology> resolve_graph(
+    const ScenarioSpec& spec, GraphCache& cache);
 
 /// Look up every axis, validate parameters, and build the instance.
 /// Throws ScenarioError (with candidate suggestions) on unknown keys or
-/// unsatisfiable specs.
+/// unsatisfiable specs. The cache-handle overload resolves the graph
+/// through `cache`; the cacheless one builds it fresh.
 [[nodiscard]] ResolvedScenario resolve(const ScenarioSpec& spec);
+[[nodiscard]] ResolvedScenario resolve(const ScenarioSpec& spec,
+                                       GraphCache& cache);
 
 /// Canonical serialization of every behavior-relevant spec field (all
 /// axes, params in sorted order, scalar knobs, knowledge flags, seed) —

@@ -167,6 +167,14 @@ std::vector<SweepPoint> SweepRunner::enumerate(const SweepSpec& sweep) {
 
 std::vector<SweepRow> SweepRunner::run(const SweepSpec& sweep,
                                        SweepStats* stats) {
+  // Compatibility path: no context, so a per-call Caches — graphs still
+  // dedupe within this one sweep, nothing persists across calls.
+  Caches caches;
+  return run(sweep, caches, stats);
+}
+
+std::vector<SweepRow> SweepRunner::run(const SweepSpec& sweep, Caches& caches,
+                                       SweepStats* stats) {
   const std::vector<SweepPoint> points = enumerate(sweep);
   const unsigned threads =
       sweep.threads == 0 ? support::default_thread_count() : sweep.threads;
@@ -185,7 +193,7 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& sweep,
         std::string fp;
         if (memo) {
           fp = fingerprint(point.spec);
-          if (const std::optional<CachedRun> hit = result_cache().lookup(fp)) {
+          if (const std::optional<CachedRun> hit = caches.results.lookup(fp)) {
             row.realized_n = hit->realized_n;
             row.min_pair_distance = hit->min_pair_distance;
             row.outcome = hit->outcome;
@@ -199,7 +207,7 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& sweep,
         ResolvedScenario resolved;
         const auto resolve_start = std::chrono::steady_clock::now();
         try {
-          resolved = resolve(point.spec);
+          resolved = resolve(point.spec, caches.graphs);
         } catch (const ScenarioError& e) {
           if (!sweep.skip_infeasible) throw;
           infeasible[i] = e.what();
@@ -247,7 +255,7 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& sweep,
         // abort depends on the tolerance flag, which is harness policy
         // outside the fingerprint.
         if (memo && !row.protocol_violation) {
-          result_cache().store(
+          caches.results.store(
               fp, CachedRun{row.realized_n, row.min_pair_distance,
                             row.outcome});
         }
@@ -255,8 +263,8 @@ std::vector<SweepRow> SweepRunner::run(const SweepSpec& sweep,
       },
       sweep.steal_chunk);
   if (stats != nullptr) {
-    stats->graph_cache = graph_cache().stats();
-    stats->result_cache = result_cache().stats();
+    stats->graph_cache = caches.graphs.stats();
+    stats->result_cache = caches.results.stats();
   }
   if (sweep.skip_infeasible) {
     std::size_t kept = 0;

@@ -17,8 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "scenario/graph_cache.hpp"
-#include "scenario/result_cache.hpp"
+#include "scenario/caches.hpp"
 #include "scenario/scenario.hpp"
 
 namespace gather::scenario {
@@ -100,12 +99,13 @@ struct SweepSpec {
   /// and assert the CSV bytes still don't move.
   std::size_t steal_chunk = 0;
 
-  /// When true, points whose fingerprint is already in the process-wide
-  /// scenario::result_cache() reuse the memoized outcome instead of
-  /// re-running (sound because rows are pure functions of their spec;
-  /// see result_cache.hpp). Ignored — the cache is bypassed — when
-  /// trace_dir is set, since a hit would skip the row's trace write.
-  /// Protocol-violation rows and infeasible points are never stored.
+  /// When true, points whose fingerprint is already in the caller's
+  /// result cache (the Caches handle passed to run) reuse the memoized
+  /// outcome instead of re-running (sound because rows are pure
+  /// functions of their spec; see result_cache.hpp). Ignored — the
+  /// cache is bypassed — when trace_dir is set, since a hit would skip
+  /// the row's trace write. Protocol-violation rows and infeasible
+  /// points are never stored.
   bool use_result_cache = false;
 };
 
@@ -137,9 +137,9 @@ struct SweepRow {
   double wall_seconds = 0.0;
 };
 
-/// Process-wide cache counter snapshot taken after a sweep finishes
-/// (counters accumulate across sweeps in one process — interleaved A/B
-/// harnesses should clear() the caches between phases).
+/// Counter snapshot of the caller's Caches taken after a sweep finishes
+/// (counters accumulate across sweeps through one context — interleaved
+/// A/B harnesses should clear() the caches between phases).
 struct SweepStats {
   GraphCacheStats graph_cache;
   ResultCacheStats result_cache;
@@ -154,8 +154,19 @@ class SweepRunner {
 
   /// Execute all points in parallel; rows come back in enumeration order.
   /// A point whose resolution fails throws ScenarioError after workers
-  /// join — sweep specs are validated by running them. When `stats` is
-  /// non-null it receives the post-sweep cache counter snapshot.
+  /// join — sweep specs are validated by running them. Graphs are shared
+  /// through `caches.graphs`; with use_result_cache, outcomes memoize
+  /// through `caches.results`. The caches belong to the caller's context
+  /// (gather::Service, a test's local Caches) — a sweep never touches
+  /// any other context's state. When `stats` is non-null it receives the
+  /// post-sweep counter snapshot of THAT context's caches.
+  [[nodiscard]] static std::vector<SweepRow> run(const SweepSpec& spec,
+                                                 Caches& caches,
+                                                 SweepStats* stats = nullptr);
+
+  /// Deprecated compatibility path for callers that own no context: runs
+  /// against a per-call Caches, so graphs still dedupe WITHIN the sweep
+  /// but nothing persists across calls. Prefer the Caches overload.
   [[nodiscard]] static std::vector<SweepRow> run(const SweepSpec& spec,
                                                  SweepStats* stats = nullptr);
 

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "scenario/caches.hpp"
 #include "scenario/graph_cache.hpp"
 #include "scenario/result_cache.hpp"
 #include "scenario/scenario.hpp"
@@ -126,14 +127,15 @@ TEST(GraphCacheTest, ImplicitDescriptorsAreCacheTrivial) {
   ScenarioSpec spec;
   spec.family = "implicit-grid";
   spec.n = 1000 * 1000;
-  const std::uint64_t bytes_before = graph_cache().stats().resident_bytes;
-  const TopologyPtr g = resolve_graph(spec);
+  GraphCache cache;
+  const TopologyPtr g = resolve_graph(spec, cache);
   ASSERT_NE(g, nullptr);
   EXPECT_EQ(g->num_nodes(), 1000u * 1000u);
   EXPECT_NE(g->as_implicit(), nullptr);
   EXPECT_EQ(g->memory_bytes(), 0u);
-  const std::uint64_t bytes_after = graph_cache().stats().resident_bytes;
-  EXPECT_EQ(bytes_after, bytes_before);  // +0 for the implicit entry
+  const GraphCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.resident_bytes, 0u);  // +0 for the implicit entry
   // A materialized family of trivial size charges its real CSR bytes.
   const TopologyPtr ring = tiny_ring(9);
   EXPECT_GT(ring->memory_bytes(), 0u);
@@ -151,16 +153,16 @@ TEST(GraphCacheTest, FileFamilyStillBypassesTheCache) {
   spec.family = "file";
   spec.family_params.set("path", path);
   spec.n = 3;
-  const GraphCacheStats before = graph_cache().stats();
-  const TopologyPtr a = resolve_graph(spec);
-  const TopologyPtr b = resolve_graph(spec);
+  GraphCache cache;
+  const TopologyPtr a = resolve_graph(spec, cache);
+  const TopologyPtr b = resolve_graph(spec, cache);
   ASSERT_NE(a, nullptr);
   ASSERT_NE(b, nullptr);
   EXPECT_NE(a.get(), b.get());  // fresh build per call, never shared
-  const GraphCacheStats after = graph_cache().stats();
-  EXPECT_EQ(after.hits, before.hits);
-  EXPECT_EQ(after.misses, before.misses);
-  EXPECT_EQ(after.entries, before.entries);
+  const GraphCacheStats after = cache.stats();
+  EXPECT_EQ(after.hits, 0u);
+  EXPECT_EQ(after.misses, 0u);
+  EXPECT_EQ(after.entries, 0u);
 }
 
 TEST(GraphCacheTest, ResolveSharesGraphBetweenIdenticalSpecs) {
@@ -168,12 +170,25 @@ TEST(GraphCacheTest, ResolveSharesGraphBetweenIdenticalSpecs) {
   spec.family = "torus";
   spec.n = 9;
   spec.k = 3;
-  const ResolvedScenario a = resolve(spec);
-  const ResolvedScenario b = resolve(spec);
+  GraphCache cache;
+  const ResolvedScenario a = resolve(spec, cache);
+  const ResolvedScenario b = resolve(spec, cache);
   EXPECT_EQ(a.graph.get(), b.graph.get());
   spec.seed += 1;
-  const ResolvedScenario c = resolve(spec);
+  const ResolvedScenario c = resolve(spec, cache);
   EXPECT_NE(a.graph.get(), c.graph.get());
+}
+
+TEST(GraphCacheTest, CachelessResolveBuildsFresh) {
+  // No cache handle = no context: every call builds its own instance,
+  // and no process-wide state exists for the builds to leak into.
+  ScenarioSpec spec;
+  spec.family = "torus";
+  spec.n = 9;
+  spec.k = 3;
+  const ResolvedScenario a = resolve(spec);
+  const ResolvedScenario b = resolve(spec);
+  EXPECT_NE(a.graph.get(), b.graph.get());
 }
 
 TEST(ResultCacheTest, StoreLookupAndLruEviction) {
@@ -269,16 +284,18 @@ TEST(SweepDeterminismStress, ByteIdenticalAcrossThreadsStealAndCache) {
 }
 
 TEST(SweepResultCacheTest, SecondRunHitsEveryRow) {
-  result_cache().clear();
+  Caches caches;
   SweepSpec sweep = stress_grid();
   sweep.use_result_cache = true;
   sweep.threads = 2;
   SweepStats cold_stats;
-  const std::vector<SweepRow> cold = SweepRunner::run(sweep, &cold_stats);
+  const std::vector<SweepRow> cold =
+      SweepRunner::run(sweep, caches, &cold_stats);
   EXPECT_EQ(cold_stats.result_cache.hits, 0u);
   EXPECT_EQ(cold_stats.result_cache.entries, cold.size());
   SweepStats warm_stats;
-  const std::vector<SweepRow> warm = SweepRunner::run(sweep, &warm_stats);
+  const std::vector<SweepRow> warm =
+      SweepRunner::run(sweep, caches, &warm_stats);
   EXPECT_EQ(warm_stats.result_cache.hits, warm.size());
   EXPECT_EQ(csv_of(warm), csv_of(cold));
   for (const SweepRow& row : warm) {
@@ -289,14 +306,14 @@ TEST(SweepResultCacheTest, SecondRunHitsEveryRow) {
 }
 
 TEST(SweepResultCacheTest, TraceDirBypassesTheMemo) {
-  result_cache().clear();
+  Caches caches;
   SweepSpec sweep = stress_grid();
   sweep.families = {"ring"};
   sweep.sizes = {9};
   sweep.use_result_cache = true;
   sweep.trace_dir = testing::TempDir();
   SweepStats stats;
-  const std::vector<SweepRow> rows = SweepRunner::run(sweep, &stats);
+  const std::vector<SweepRow> rows = SweepRunner::run(sweep, caches, &stats);
   ASSERT_FALSE(rows.empty());
   // Bypassed entirely: a hit would have skipped the rows' trace writes.
   EXPECT_EQ(stats.result_cache.hits, 0u);

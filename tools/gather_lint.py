@@ -55,6 +55,16 @@ probe dynamically:
     reintroduce one type-erased indirect call per index. Pass the
     callable as a deduced template parameter instead.
 
+``abi-no-throw``
+    ``.cpp`` files in the ``api`` layer that define ``extern "C"``
+    entry points (the stable ABI of include/libgather.h) must not use
+    ``throw`` or ``catch`` outside regions bracketed by ``// gather-lint:
+    abi-translate-begin(NAME)`` / ``abi-translate-end(NAME)`` — the
+    single catch-translate helper is the only place exceptions become
+    gather_status codes, so an exception can never cross the C boundary
+    (undefined behavior for a C caller). Unbalanced markers are exit 2,
+    like the hot-path markers.
+
 Suppression: append ``// gather-lint: allow(RULE) REASON`` to the
 offending line. A pragma without a reason is itself a finding.
 
@@ -79,6 +89,10 @@ HOT_TEMPLATE_BEGIN_RE = re.compile(
     r"gather-lint:\s*hot-template-begin\((?P<name>[\w-]+)\)")
 HOT_TEMPLATE_END_RE = re.compile(
     r"gather-lint:\s*hot-template-end\((?P<name>[\w-]+)\)")
+ABI_TRANSLATE_BEGIN_RE = re.compile(
+    r"gather-lint:\s*abi-translate-begin\((?P<name>[\w-]+)\)")
+ABI_TRANSLATE_END_RE = re.compile(
+    r"gather-lint:\s*abi-translate-end\((?P<name>[\w-]+)\)")
 ALLOW_RE = re.compile(r"gather-lint:\s*allow\((?P<rule>[\w-]+)\)\s*(?P<reason>.*)")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"(?P<head>[\w.-]+)/')
@@ -123,12 +137,20 @@ HOT_PATH_ALLOC_RE = re.compile(
 
 HOT_TEMPLATE_BAN_RE = re.compile(r"std::function\b")
 
+# The abi-no-throw rule applies to api-layer .cpp files that define
+# extern "C" entry points; detection is on the RAW text because the
+# scrubber empties the "C" string literal.
+ABI_EXTERN_C_RE = re.compile(r'extern\s+"C"')
+ABI_THROW_RE = re.compile(r"\bthrow\b|\bcatch\b")
+
 RULES = {
     "layering": "include edges must follow the ARCHITECTURE.md layer DAG",
     "determinism": "no nondeterminism sources in src/",
     "taxonomy": "throws must be typed error classes; no bare assert()",
     "hot-path": "no allocating constructs in marked round-loop regions",
     "hot-template": "no std::function in marked templated-dispatch regions",
+    "abi-no-throw": "extern \"C\" api files confine throw/catch to the "
+                    "marked abi-translate region",
     "pragma": "allow() pragmas must carry a reason",
 }
 
@@ -420,6 +442,45 @@ def check_hot_template(rel, raw_lines, lines, allows, findings):
         raise LintError(f"{rel}: hot-template region '{region}' never closed")
 
 
+def check_abi_no_throw(rel, layer, text, raw_lines, lines, allows, findings):
+    # Only .cpp files in the api layer that define extern "C" entry
+    # points carry the ABI contract; the detection looks at the raw
+    # text because scrub_lines empties the "C" string literal.
+    if layer != "api" or not rel.endswith(".cpp"):
+        return
+    if not ABI_EXTERN_C_RE.search(text):
+        return
+    region = None
+    for lineno, (raw, line) in enumerate(zip(raw_lines, lines), start=1):
+        begin = ABI_TRANSLATE_BEGIN_RE.search(raw)
+        end = ABI_TRANSLATE_END_RE.search(raw)
+        if begin:
+            if region is not None:
+                raise LintError(
+                    f"{rel}:{lineno}: abi-translate-begin"
+                    f"({begin.group('name')}) inside open region '{region}'")
+            region = begin.group("name")
+            continue
+        if end:
+            if region != end.group("name"):
+                raise LintError(
+                    f"{rel}:{lineno}: abi-translate-end({end.group('name')}) "
+                    f"does not close open region {region!r}")
+            region = None
+            continue
+        if region is not None:
+            continue
+        m = ABI_THROW_RE.search(line)
+        if m and "abi-no-throw" not in allows.get(lineno, ()):
+            findings.append(Finding(
+                rel, lineno, "abi-no-throw",
+                f"{m.group(0)!r} outside the abi-translate region in an "
+                "extern \"C\" ABI file — exceptions must not cross the C "
+                "boundary; route errors through the catch-translate helper"))
+    if region is not None:
+        raise LintError(f"{rel}: abi-translate region '{region}' never closed")
+
+
 def lint_file(path, rel, dag, findings):
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -441,6 +502,7 @@ def lint_file(path, rel, dag, findings):
     check_taxonomy(rel, lines, allows, findings)
     check_hot_path(rel, raw_lines, lines, allows, findings)
     check_hot_template(rel, raw_lines, lines, allows, findings)
+    check_abi_no_throw(rel, layer, text, raw_lines, lines, allows, findings)
 
 
 def iter_source_files(src_root):

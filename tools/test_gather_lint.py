@@ -382,6 +382,96 @@ class HotTemplateTest(LintHarness):
         self.assert_clean()
 
 
+class AbiNoThrowTest(LintHarness):
+    """extern "C" files in api/ confine throw/catch to marked regions."""
+
+    def setUp(self):
+        super().setUp()
+        self.write_arch(
+            "<!-- gather-lint: layer-dag-begin -->\n"
+            "support:\n"
+            "sim: support\n"
+            "api: sim support\n"
+            "<!-- gather-lint: layer-dag-end -->\n")
+
+    def seeded(self, body):
+        return (
+            'extern "C" {\n'
+            "int gather_entry(void);\n"
+            "}\n"
+            f"{body}")
+
+    def test_catch_inside_translate_region_passes(self):
+        self.write_src(
+            "api/libx.cpp",
+            self.seeded(
+                "// gather-lint: abi-translate-begin(guarded)\n"
+                "int guarded() {\n"
+                "  try { work(); } catch (...) { return 3; }\n"
+                "  return 0;\n"
+                "}\n"
+                "// gather-lint: abi-translate-end(guarded)\n"))
+        self.assert_clean()
+
+    def test_throw_outside_region_caught(self):
+        self.write_src(
+            "api/libx.cpp",
+            self.seeded('void f() { throw AbiError("boom"); }\n'))
+        self.assert_finding("abi-no-throw", "'throw'")
+
+    def test_catch_outside_region_caught(self):
+        self.write_src(
+            "api/libx.cpp",
+            self.seeded("void f() { try { g(); } catch (...) {} }\n"))
+        self.assert_finding("abi-no-throw", "'catch'")
+
+    def test_api_file_without_extern_c_is_exempt(self):
+        # Internal C++ helpers in the api layer (spec_text, service) may
+        # throw freely; only the ABI translation units carry the rule.
+        self.write_src(
+            "api/spec_text.cpp",
+            'void f() { throw SpecError("bad key"); }\n')
+        self.assert_clean()
+
+    def test_non_api_extern_c_is_exempt(self):
+        self.write_src(
+            "sim/hooks.cpp",
+            'extern "C" { void hook(void); }\n'
+            "void f() { try { g(); } catch (...) {} }\n")
+        self.assert_clean()
+
+    def test_mention_in_comment_ignored(self):
+        self.write_src(
+            "api/libx.cpp",
+            self.seeded("int x;  // never throw across the C boundary\n"))
+        self.assert_clean()
+
+    def test_unbalanced_region_is_unusable(self):
+        self.write_src(
+            "api/libx.cpp",
+            self.seeded("// gather-lint: abi-translate-begin(guarded)\n"))
+        code, out = self.run_lint()
+        self.assertEqual(code, 2, out)
+        self.assertIn("never closed", out)
+
+    def test_mismatched_end_is_unusable(self):
+        self.write_src(
+            "api/libx.cpp",
+            self.seeded(
+                "// gather-lint: abi-translate-begin(a)\n"
+                "// gather-lint: abi-translate-end(b)\n"))
+        code, out = self.run_lint()
+        self.assertEqual(code, 2, out)
+
+    def test_allow_pragma_suppresses(self):
+        self.write_src(
+            "api/libx.cpp",
+            self.seeded(
+                "void f() { try { g(); } catch (...) {} }  "
+                "// gather-lint: allow(abi-no-throw) noexcept-audited\n"))
+        self.assert_clean()
+
+
 class PragmaTest(LintHarness):
     def test_reasonless_pragma_is_a_finding(self):
         self.write_src(
